@@ -1,0 +1,123 @@
+// Command prudentia runs the continuous fairness watchdog: it cycles
+// through all service pairs in both standing network settings, applying
+// the paper's trial-escalation protocol, and prints the MmF-share,
+// utilization, loss, and queueing-delay heatmaps after every cycle —
+// the terminal analogue of internetfairness.net.
+//
+// Usage:
+//
+//	prudentia -cycles 1 -quick
+//	prudentia -cycles 0            # run forever (live watchdog mode)
+//	prudentia -submit https://my.service/page -code <access code>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prudentia/internal/core"
+	"prudentia/internal/netem"
+	"prudentia/internal/report"
+	"prudentia/internal/services"
+	"prudentia/internal/stats"
+)
+
+func main() {
+	var (
+		cycles  = flag.Int("cycles", 1, "number of full all-pairs cycles (0 = run forever)")
+		quick   = flag.Bool("quick", true, "compressed trials (60s, 3-9 per pair) instead of the paper protocol")
+		submit  = flag.String("submit", "", "submit a custom URL for testing (Appendix A)")
+		code    = flag.String("code", "", "access code for -submit")
+		setting = flag.String("setting", "both", "highly | moderately | both")
+		verbose = flag.Bool("v", false, "per-pair progress output")
+	)
+	flag.Parse()
+
+	w := core.NewWatchdog()
+	switch {
+	case strings.HasPrefix(*setting, "high"):
+		w.Settings = []netem.Config{netem.HighlyConstrained()}
+	case strings.HasPrefix(*setting, "mod"):
+		w.Settings = []netem.Config{netem.ModeratelyConstrained()}
+	}
+	if *quick {
+		w.Opts = core.QuickOptions(w.Settings[0])
+	}
+	if *verbose {
+		w.Progress = func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		}
+	}
+
+	if *submit != "" {
+		if err := w.Submit(*submit, *code); err != nil {
+			fmt.Fprintf(os.Stderr, "prudentia: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("accepted submission %q; it joins the catalog for this run\n", *submit)
+	}
+
+	for cycle := 1; *cycles == 0 || cycle <= *cycles; cycle++ {
+		fmt.Printf("=== cycle %d (catalog: %d services) ===\n", cycle, len(w.Services))
+		cr, err := w.RunCycle()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prudentia: cycle %d: %v\n", cycle, err)
+			os.Exit(1)
+		}
+		for si, res := range cr.PerSetting {
+			cfg := w.Settings[si]
+			label := fmt.Sprintf("%.0f Mbps", float64(cfg.RateBps)/1e6)
+			printCycle(res, cr, si, cfg, label, w.Services)
+		}
+	}
+}
+
+func printCycle(res *core.MatrixResult, cr *core.CycleResult, si int, cfg netem.Config, label string, svcs []services.Service) {
+	fmt.Println(report.Heatmap(
+		fmt.Sprintf("MmF share %% (incumbent = column) — %s", label),
+		res.Names,
+		func(inc, cont string) (float64, bool) { return res.SharePct(inc, cont) },
+		".0f"))
+	fmt.Println(report.Heatmap(
+		fmt.Sprintf("link utilization %% — %s", label),
+		res.Names,
+		func(inc, cont string) (float64, bool) {
+			v, ok := res.Utilization(inc, cont)
+			return 100 * v, ok
+		},
+		".0f"))
+	fmt.Println(report.Heatmap(
+		fmt.Sprintf("loss rate %% — %s", label),
+		res.Names,
+		func(inc, cont string) (float64, bool) {
+			v, ok := res.LossRate(inc, cont)
+			return 100 * v, ok
+		},
+		".1f"))
+	fmt.Println(report.Heatmap(
+		fmt.Sprintf("mean queueing delay ms — %s", label),
+		res.Names,
+		func(inc, cont string) (float64, bool) { return res.QueueDelayMs(inc, cont) },
+		".0f"))
+
+	losing := res.LosingShares()
+	fmt.Printf("summary (%s): losing services median %.0f%% of MmF share; self-pairs mean %.0f%%\n",
+		label, stats.Median(losing), stats.Mean(res.SelfShares()))
+	if throttled := cr.ThrottledServices(si, cfg, svcs, 0.5); len(throttled) > 0 {
+		fmt.Printf("throttle watch: %v achieved <50%% of the link solo\n", throttled)
+	}
+	var unstable []string
+	for _, a := range res.Names {
+		for _, b := range res.Names {
+			if p, _, ok := res.Cell(a, b); ok && p.Unstable && a <= b {
+				unstable = append(unstable, a+" vs "+b)
+			}
+		}
+	}
+	if len(unstable) > 0 {
+		fmt.Printf("instability watch (Obs 15): %v\n", unstable)
+	}
+	fmt.Println()
+}

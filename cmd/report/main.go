@@ -1,0 +1,109 @@
+// Command report renders saved experiment artifacts (the CSV files
+// cmd/experiment exports) back into the paper's visual forms: queue
+// occupancy and throughput sparklines.
+//
+// Usage:
+//
+//	report -dir /tmp/artifacts -link-mbps 50 -queue-pkts 1024
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"prudentia/internal/metrics"
+	"prudentia/internal/netem"
+	"prudentia/internal/report"
+	"prudentia/internal/sim"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", ".", "artifact directory (queue.csv, rate.csv)")
+		linkMbps  = flag.Float64("link-mbps", 50, "link rate for throughput scaling")
+		queuePkts = flag.Int("queue-pkts", 1024, "queue capacity for occupancy scaling")
+	)
+	flag.Parse()
+
+	if pts, err := readRate(filepath.Join(*dir, "rate.csv")); err == nil {
+		fmt.Print(report.RateSeries("throughput (svc0 / svc1):", pts, *linkMbps,
+			[2]string{"service 0", "service 1"}))
+	} else {
+		fmt.Fprintf(os.Stderr, "report: rate.csv: %v\n", err)
+	}
+	if samples, err := readQueue(filepath.Join(*dir, "queue.csv")); err == nil {
+		fmt.Print(report.QueueSeries("bottleneck queue occupancy:", samples, *queuePkts))
+	} else {
+		fmt.Fprintf(os.Stderr, "report: queue.csv: %v\n", err)
+	}
+}
+
+func readRate(path string) ([]metrics.RatePoint, error) {
+	rows, err := readCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	var pts []metrics.RatePoint
+	for _, r := range rows {
+		if len(r) < 3 {
+			continue
+		}
+		t, err1 := strconv.ParseFloat(r[0], 64)
+		a, err2 := strconv.ParseFloat(r[1], 64)
+		b, err3 := strconv.ParseFloat(r[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("bad row %v", r)
+		}
+		pts = append(pts, metrics.RatePoint{
+			At:   sim.Time(t * float64(sim.Second)),
+			Mbps: [2]float64{a, b},
+		})
+	}
+	return pts, nil
+}
+
+func readQueue(path string) ([]netem.OccupancySample, error) {
+	rows, err := readCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []netem.OccupancySample
+	for _, r := range rows {
+		if len(r) < 4 {
+			continue
+		}
+		t, err1 := strconv.ParseFloat(r[0], 64)
+		total, err2 := strconv.Atoi(r[1])
+		s0, err3 := strconv.Atoi(r[2])
+		s1, err4 := strconv.Atoi(r[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("bad row %v", r)
+		}
+		out = append(out, netem.OccupancySample{
+			At:         sim.Time(t * float64(sim.Second)),
+			Total:      total,
+			PerService: [2]int{s0, s1},
+		})
+	}
+	return out, nil
+}
+
+func readCSV(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) > 0 {
+		rows = rows[1:] // header
+	}
+	return rows, nil
+}

@@ -1,0 +1,47 @@
+// Megaburst reproduces the paper's Observation 4 workflow end to end:
+// it runs Mega against a loss-based (NewReno) and a BBR-based (Dropbox)
+// competitor on the 50 Mbps setting, prints the throughput time series
+// showing Dropbox ramping into the gaps between Mega's batch bursts, and
+// renders the bottleneck queue occupancy that drives Fig 8.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prudentia/internal/core"
+	"prudentia/internal/netem"
+	"prudentia/internal/report"
+	"prudentia/internal/services"
+	"prudentia/internal/sim"
+)
+
+func main() {
+	for _, inc := range []string{"iPerf (Reno)", "Dropbox"} {
+		spec := core.Spec{
+			Incumbent:        services.ByName(inc),
+			Contender:        services.ByName("Mega"),
+			Net:              netem.ModeratelyConstrained(),
+			Seed:             7,
+			Duration:         120 * sim.Second,
+			Warmup:           20 * sim.Second,
+			Cooldown:         10 * sim.Second,
+			SampleRateEvery:  sim.Second,
+			SampleQueueEvery: 250 * sim.Millisecond,
+		}
+		res, err := core.RunTrial(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s vs Mega @50 Mbps: %.1f vs %.1f Mbps (%.0f%% / %.0f%% of MmF), util %.0f%%, loss %.1f%%/%.1f%%\n",
+			inc, res.Mbps[0], res.Mbps[1], res.SharePct[0], res.SharePct[1],
+			100*res.Utilization, 100*res.Loss[0], 100*res.Loss[1])
+		fmt.Print(report.RateSeries("  throughput (1s bins):", res.RateSeries, 50,
+			[2]string{inc, "Mega"}))
+		fmt.Print(report.QueueSeries("  bottleneck queue:", res.QueueSeries, 1024))
+		fmt.Println()
+	}
+	fmt.Println("Note how the BBR-based competitor recovers bandwidth between")
+	fmt.Println("Mega's batch bursts while the loss-based one keeps backing off —")
+	fmt.Println("the mechanism behind the paper's Observation 4.")
+}

@@ -1,0 +1,42 @@
+// Quickstart: measure one fairness interaction through the public API —
+// the two-roommates scenario from the paper's introduction, YouTube
+// competing with a Mega download on an 8 Mbps access link.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prudentia"
+)
+
+func main() {
+	fmt.Println("Prudentia quickstart: YouTube vs Mega on an 8 Mbps link")
+	fmt.Println("catalog:", prudentia.Services())
+
+	res, err := prudentia.Run(prudentia.Experiment{
+		Incumbent: "YouTube",
+		Contender: "Mega",
+		Setting:   prudentia.HighlyConstrained,
+		Trials:    3,
+		Quick:     true,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nYouTube: %5.2f Mbps  (%3.0f%% of its max-min fair share, IQR %.0f)\n",
+		res.MedianMbps[0], res.MedianSharePct[0], res.IQRSharePct[0])
+	fmt.Printf("Mega:    %5.2f Mbps  (%3.0f%% of its max-min fair share, IQR %.0f)\n",
+		res.MedianMbps[1], res.MedianSharePct[1], res.IQRSharePct[1])
+
+	switch {
+	case res.MedianSharePct[0] < 90 && res.MedianSharePct[1] > 110:
+		fmt.Println("\noutcome: Mega wins — YouTube is squeezed below its fair share.")
+	case res.MedianSharePct[0] > 110 && res.MedianSharePct[1] < 90:
+		fmt.Println("\noutcome: YouTube wins — Mega is squeezed below its fair share.")
+	default:
+		fmt.Println("\noutcome: roughly fair.")
+	}
+}

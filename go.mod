@@ -1,0 +1,3 @@
+module prudentia
+
+go 1.22

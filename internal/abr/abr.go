@@ -1,0 +1,135 @@
+// Package abr models the adaptive-bitrate control loops of the on-demand
+// video services in the Prudentia catalog. The paper's core argument
+// (Obs 2, Obs 3, Obs 9) is that these application-level loops — discrete
+// bitrate ladders, stability-seeking rung selection, playback-buffer
+// targets — shape fairness outcomes at least as much as the underlying
+// CCA, so they are modelled explicitly rather than folded into transport.
+package abr
+
+import "prudentia/internal/sim"
+
+// Ladder is a service's ascending list of encoded bitrates in bits/sec.
+type Ladder []int64
+
+// Max returns the ladder's top rung.
+func (l Ladder) Max() int64 {
+	if len(l) == 0 {
+		return 0
+	}
+	return l[len(l)-1]
+}
+
+// Clamp returns the highest rung index whose bitrate does not exceed cap
+// (minimum index 0). A zero cap means no constraint.
+func (l Ladder) Clamp(cap int64) int {
+	if cap <= 0 {
+		return len(l) - 1
+	}
+	idx := 0
+	for i, b := range l {
+		if b <= cap {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// Reference ladders. The top rungs match Table 1's measured maximum
+// transmission rates (YouTube 13 Mbps, Vimeo 14 Mbps, Netflix 8 Mbps, all
+// serving up-to-4K Big Buck Bunny); the lower rungs follow the services'
+// published encoding tiers.
+func YouTubeLadder() Ladder {
+	return Ladder{300_000, 700_000, 1_500_000, 3_000_000, 5_000_000, 8_000_000, 13_000_000}
+}
+
+func NetflixLadder() Ladder {
+	return Ladder{350_000, 750_000, 1_750_000, 3_000_000, 5_000_000, 8_000_000}
+}
+
+func VimeoLadder() Ladder {
+	return Ladder{400_000, 800_000, 1_600_000, 3_200_000, 6_000_000, 10_000_000, 14_000_000}
+}
+
+// ResolutionForRung maps a rung index on a 7-ish step ladder to a display
+// height, for reporting.
+func ResolutionForRung(l Ladder, idx int) int {
+	heights := []int{144, 240, 360, 480, 720, 1080, 1440, 2160}
+	if len(l) == 0 {
+		return 0
+	}
+	// Spread the ladder across the height table so the top rung is 4K
+	// for 7-rung ladders and 1080p+ for shorter ones.
+	pos := (idx + len(heights) - len(l))
+	if pos < 0 {
+		pos = 0
+	}
+	if pos >= len(heights) {
+		pos = len(heights) - 1
+	}
+	return heights[pos]
+}
+
+// Policy selects the rung for the next chunk.
+type Policy interface {
+	// Name identifies the policy in traces.
+	Name() string
+	// NextRung picks the ladder index for the next chunk request.
+	NextRung(now sim.Time, st State) int
+}
+
+// State is the player state a policy sees when choosing a rung.
+type State struct {
+	Ladder Ladder
+	// BufferSec is the current playback buffer in seconds.
+	BufferSec float64
+	// TargetBufferSec is the buffer the player tries to hold.
+	TargetBufferSec float64
+	// ThroughputBps is the estimator's current value (0 before the first
+	// chunk completes).
+	ThroughputBps int64
+	// LastRung is the rung used for the previous chunk (-1 before the
+	// first request).
+	LastRung int
+	// RenderCap caps the usable bitrate due to client rendering limits
+	// (the §3.3 fidelity effect); 0 means unconstrained.
+	RenderCap int64
+}
+
+// Estimator smooths chunk-level throughput samples. Services use a
+// harmonic mean over recent chunks, which is what DASH-style players do
+// because it is dominated by the slow chunks that actually cause stalls.
+type Estimator struct {
+	samples []int64
+	window  int
+}
+
+// NewEstimator returns an estimator over the given number of chunks.
+func NewEstimator(window int) *Estimator {
+	if window <= 0 {
+		window = 5
+	}
+	return &Estimator{window: window}
+}
+
+// Add records a chunk download throughput sample in bits/sec.
+func (e *Estimator) Add(bps int64) {
+	if bps <= 0 {
+		return
+	}
+	e.samples = append(e.samples, bps)
+	if len(e.samples) > e.window {
+		e.samples = e.samples[len(e.samples)-e.window:]
+	}
+}
+
+// Estimate returns the harmonic mean of the recorded samples (0 if none).
+func (e *Estimator) Estimate() int64 {
+	if len(e.samples) == 0 {
+		return 0
+	}
+	var invSum float64
+	for _, s := range e.samples {
+		invSum += 1 / float64(s)
+	}
+	return int64(float64(len(e.samples)) / invSum)
+}

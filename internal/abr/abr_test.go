@@ -1,0 +1,201 @@
+package abr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prudentia/internal/sim"
+)
+
+func TestLadderBasics(t *testing.T) {
+	l := YouTubeLadder()
+	if len(l) != 7 {
+		t.Fatalf("YouTube ladder has %d rungs", len(l))
+	}
+	if l.Max() != 13_000_000 {
+		t.Fatalf("YouTube max = %d", l.Max())
+	}
+	if NetflixLadder().Max() != 8_000_000 || VimeoLadder().Max() != 14_000_000 {
+		t.Fatal("Netflix/Vimeo caps wrong (Table 1)")
+	}
+	if (Ladder{}).Max() != 0 {
+		t.Fatal("empty ladder max")
+	}
+}
+
+func TestLadderClamp(t *testing.T) {
+	l := YouTubeLadder()
+	if got := l.Clamp(0); got != len(l)-1 {
+		t.Fatalf("no cap should allow top rung, got %d", got)
+	}
+	// A 4 Mbps render cap (headless client) allows up to the 3 Mbps rung.
+	idx := l.Clamp(4_000_000)
+	if l[idx] > 4_000_000 {
+		t.Fatalf("clamp exceeded cap: %d", l[idx])
+	}
+	if idx+1 < len(l) && l[idx+1] <= 4_000_000 {
+		t.Fatalf("clamp not maximal: %d", idx)
+	}
+	// A cap below the lowest rung still returns rung 0.
+	if got := l.Clamp(1); got != 0 {
+		t.Fatalf("tiny cap rung = %d", got)
+	}
+}
+
+func TestLaddersAscendProperty(t *testing.T) {
+	for _, l := range []Ladder{YouTubeLadder(), NetflixLadder(), VimeoLadder()} {
+		for i := 1; i < len(l); i++ {
+			if l[i] <= l[i-1] {
+				t.Fatalf("ladder not ascending: %v", l)
+			}
+		}
+	}
+}
+
+func TestResolutionForRung(t *testing.T) {
+	l := YouTubeLadder()
+	if got := ResolutionForRung(l, len(l)-1); got != 2160 {
+		t.Fatalf("top rung = %dp, want 2160p", got)
+	}
+	if got := ResolutionForRung(l, 0); got > 360 {
+		t.Fatalf("bottom rung = %dp", got)
+	}
+	// Monotone.
+	prev := 0
+	for i := range l {
+		r := ResolutionForRung(l, i)
+		if r < prev {
+			t.Fatalf("resolutions not monotone: %d after %d", r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestEstimatorHarmonicMean(t *testing.T) {
+	e := NewEstimator(5)
+	if e.Estimate() != 0 {
+		t.Fatal("empty estimator should be 0")
+	}
+	e.Add(1_000_000)
+	e.Add(4_000_000)
+	// Harmonic mean of 1 and 4 Mbps = 1.6 Mbps.
+	if got := e.Estimate(); got < 1_590_000 || got > 1_610_000 {
+		t.Fatalf("harmonic mean = %d", got)
+	}
+}
+
+func TestEstimatorWindowEviction(t *testing.T) {
+	e := NewEstimator(3)
+	e.Add(1) // will be evicted
+	for i := 0; i < 3; i++ {
+		e.Add(1_000_000)
+	}
+	if got := e.Estimate(); got != 1_000_000 {
+		t.Fatalf("eviction failed: %d", got)
+	}
+	e.Add(0) // ignored
+	if got := e.Estimate(); got != 1_000_000 {
+		t.Fatalf("zero sample should be ignored: %d", got)
+	}
+}
+
+func st(ladder Ladder, buffer, target float64, tput int64, last int) State {
+	return State{
+		Ladder: ladder, BufferSec: buffer, TargetBufferSec: target,
+		ThroughputBps: tput, LastRung: last,
+	}
+}
+
+func TestStabilityPolicyStartsLow(t *testing.T) {
+	p := NewStabilityPolicy()
+	if got := p.NextRung(0, st(YouTubeLadder(), 0, 30, 0, -1)); got > 1 {
+		t.Fatalf("first chunk rung = %d", got)
+	}
+}
+
+func TestStabilityPolicyPatientUpswitch(t *testing.T) {
+	p := NewStabilityPolicy()
+	l := YouTubeLadder()
+	s := st(l, 20, 30, 50_000_000, 2)
+	// Plenty of headroom, but the first decision must hold (patience=2).
+	if got := p.NextRung(0, s); got != 2 {
+		t.Fatalf("upswitched without patience: %d", got)
+	}
+	if got := p.NextRung(0, s); got != 3 {
+		t.Fatalf("second consecutive headroom should upswitch: %d", got)
+	}
+}
+
+func TestStabilityPolicyEmergencyDownswitch(t *testing.T) {
+	p := NewStabilityPolicy()
+	l := YouTubeLadder()
+	// Buffer nearly empty, estimate tiny: drop to a sustainable rung.
+	got := p.NextRung(0, st(l, 1, 30, 500_000, 5))
+	if l[got] > 400_000 {
+		t.Fatalf("emergency downswitch insufficient: rung %d (%d bps)", got, l[got])
+	}
+}
+
+func TestStabilityPolicyRespectsRenderCap(t *testing.T) {
+	p := NewStabilityPolicy()
+	l := YouTubeLadder()
+	s := st(l, 25, 30, 100_000_000, 3)
+	s.RenderCap = 4_000_000 // headless client (§3.3)
+	for i := 0; i < 10; i++ {
+		if got := p.NextRung(0, s); l[got] > 4_000_000 {
+			t.Fatalf("render cap violated: %d bps", l[got])
+		} else {
+			s.LastRung = got
+		}
+	}
+}
+
+func TestThroughputPolicyGreedy(t *testing.T) {
+	p := NewThroughputPolicy()
+	l := NetflixLadder()
+	got := p.NextRung(0, st(l, 30, 40, 9_000_000, 0))
+	// 0.95×9M = 8.55M budget: top rung (8M) fits immediately.
+	if got != len(l)-1 {
+		t.Fatalf("greedy policy rung = %d", got)
+	}
+}
+
+func TestThroughputPolicyBufferGuardrail(t *testing.T) {
+	p := NewThroughputPolicy()
+	l := NetflixLadder()
+	// Near-empty buffer: no upswitching even with headroom.
+	got := p.NextRung(0, st(l, 2, 40, 9_000_000, 1))
+	if got > 1 {
+		t.Fatalf("guardrail failed: %d", got)
+	}
+}
+
+func TestConservativePolicySingleStep(t *testing.T) {
+	p := NewConservativePolicy()
+	l := VimeoLadder()
+	got := p.NextRung(0, st(l, 20, 30, 50_000_000, 1))
+	if got != 2 {
+		t.Fatalf("conservative policy should move one rung, got %d", got)
+	}
+	got = p.NextRung(0, st(l, 20, 30, 100_000, 4))
+	if got != 3 {
+		t.Fatalf("conservative policy should drop one rung, got %d", got)
+	}
+}
+
+func TestPoliciesNeverExceedLadder(t *testing.T) {
+	policies := []Policy{NewStabilityPolicy(), NewThroughputPolicy(), NewConservativePolicy()}
+	if err := quick.Check(func(buf uint8, tput uint32, last uint8) bool {
+		l := YouTubeLadder()
+		for _, p := range policies {
+			s := st(l, float64(buf%60), 30, int64(tput), int(last)%len(l))
+			got := p.NextRung(sim.Second, s)
+			if got < 0 || got >= len(l) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

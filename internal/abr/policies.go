@@ -1,0 +1,144 @@
+package abr
+
+import "prudentia/internal/sim"
+
+// StabilityPolicy models YouTube-style rung selection: it prizes steady
+// playback over maximal quality. Upswitches require sustained headroom
+// over several chunks; downswitches happen promptly when the buffer or
+// the estimate sags. The paper attributes YouTube's low contentiousness
+// (Obs 2) largely to this behaviour plus its discrete ladder.
+type StabilityPolicy struct {
+	// Safety scales the throughput estimate before rung comparison.
+	Safety float64
+	// UpswitchHeadroom is the extra margin (×rung bitrate) required to
+	// move up, and UpswitchPatience how many consecutive chunks must
+	// show it.
+	UpswitchHeadroom float64
+	UpswitchPatience int
+
+	pendingUp int
+}
+
+// NewStabilityPolicy returns the YouTube-flavoured policy.
+func NewStabilityPolicy() *StabilityPolicy {
+	return &StabilityPolicy{Safety: 0.8, UpswitchHeadroom: 1.25, UpswitchPatience: 2}
+}
+
+// Name implements Policy.
+func (p *StabilityPolicy) Name() string { return "stability" }
+
+// NextRung implements Policy.
+func (p *StabilityPolicy) NextRung(_ sim.Time, st State) int {
+	cap := st.Ladder.Clamp(st.RenderCap)
+	if st.LastRung < 0 {
+		// First chunk: start low, like the real player.
+		return min(1, cap)
+	}
+	cur := min(st.LastRung, cap)
+	budget := int64(p.Safety * float64(st.ThroughputBps))
+
+	// Emergency downswitch when the buffer is draining.
+	if st.BufferSec < st.TargetBufferSec*0.3 || int64(float64(st.Ladder[cur])) > budget {
+		p.pendingUp = 0
+		for cur > 0 && st.Ladder[cur] > budget {
+			cur--
+		}
+		return cur
+	}
+	// Patient upswitch; with a comfortably full buffer the player can
+	// afford to try the next rung with less headroom.
+	headroom := p.UpswitchHeadroom
+	if st.BufferSec > st.TargetBufferSec*0.8 {
+		headroom = 1.05
+	}
+	if cur < cap && int64(headroom*float64(st.Ladder[cur+1])) <= budget &&
+		st.BufferSec > st.TargetBufferSec*0.6 {
+		p.pendingUp++
+		if p.pendingUp >= p.UpswitchPatience {
+			p.pendingUp = 0
+			return cur + 1
+		}
+	} else {
+		p.pendingUp = 0
+	}
+	return cur
+}
+
+// ThroughputPolicy models Netflix-style selection: pick the highest rung
+// the (safety-scaled) estimate supports, switching immediately in both
+// directions. Combined with four parallel NewReno connections this makes
+// Netflix notably contentious in the highly-constrained setting (Fig 3a).
+type ThroughputPolicy struct {
+	Safety float64
+}
+
+// NewThroughputPolicy returns the Netflix-flavoured policy.
+func NewThroughputPolicy() *ThroughputPolicy { return &ThroughputPolicy{Safety: 0.95} }
+
+// Name implements Policy.
+func (p *ThroughputPolicy) Name() string { return "throughput" }
+
+// NextRung implements Policy.
+func (p *ThroughputPolicy) NextRung(_ sim.Time, st State) int {
+	cap := st.Ladder.Clamp(st.RenderCap)
+	if st.LastRung < 0 {
+		return min(2, cap)
+	}
+	budget := int64(p.Safety * float64(st.ThroughputBps))
+	rung := 0
+	for i := 0; i <= cap; i++ {
+		if st.Ladder[i] <= budget {
+			rung = i
+		}
+	}
+	// Buffer guardrail: never upswitch into a nearly-empty buffer.
+	if st.BufferSec < st.TargetBufferSec*0.25 && rung > st.LastRung {
+		rung = st.LastRung
+	}
+	return rung
+}
+
+// ConservativePolicy models Vimeo-style selection: a low safety factor
+// keeps the requested bitrate well under the estimate, which the paper
+// hypothesizes is why Vimeo's two BBR flows stay uncontentious even in
+// the highly-constrained setting (Obs 3, Fig 3).
+type ConservativePolicy struct {
+	Safety float64
+}
+
+// NewConservativePolicy returns the Vimeo-flavoured policy.
+func NewConservativePolicy() *ConservativePolicy { return &ConservativePolicy{Safety: 0.6} }
+
+// Name implements Policy.
+func (p *ConservativePolicy) Name() string { return "conservative" }
+
+// NextRung implements Policy.
+func (p *ConservativePolicy) NextRung(_ sim.Time, st State) int {
+	cap := st.Ladder.Clamp(st.RenderCap)
+	if st.LastRung < 0 {
+		return min(1, cap)
+	}
+	budget := int64(p.Safety * float64(st.ThroughputBps))
+	rung := 0
+	for i := 0; i <= cap; i++ {
+		if st.Ladder[i] <= budget {
+			rung = i
+		}
+	}
+	// Move at most one rung per chunk in either direction: Vimeo's
+	// player visibly smooths switches.
+	if rung > st.LastRung+1 {
+		rung = st.LastRung + 1
+	}
+	if rung < st.LastRung-1 {
+		rung = st.LastRung - 1
+	}
+	return rung
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

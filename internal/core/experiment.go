@@ -1,0 +1,215 @@
+// Package core implements the Prudentia watchdog itself — the paper's
+// primary contribution: an orchestrator that measures fairness between
+// pairs of live services by running them simultaneously over a controlled
+// bottleneck, repeating trials until statistically significant, cycling
+// round-robin through all service pairs in multiple network settings, and
+// publishing MmF-share heatmaps plus QoE reports.
+package core
+
+import (
+	"fmt"
+
+	"prudentia/internal/browser"
+	"prudentia/internal/metrics"
+	"prudentia/internal/netem"
+	"prudentia/internal/services"
+	"prudentia/internal/sim"
+)
+
+// Spec describes a single experiment: one incumbent and (optionally) one
+// contender service competing over one emulated network setting.
+type Spec struct {
+	// Incumbent occupies slot 0; Contender (nil for a solo calibration
+	// run, §3.1 "Background Noise") occupies slot 1.
+	Incumbent services.Service
+	Contender services.Service
+	// Net is the emulated bottleneck setting.
+	Net netem.Config
+	// Duration is the trial length; Warmup and Cooldown are trimmed from
+	// the measurement window. The paper runs 10-minute trials and
+	// ignores the first and last two minutes (§3.4); DefaultTiming
+	// applies those values, QuickTiming a laptop-scale equivalent.
+	Duration, Warmup, Cooldown sim.Time
+	// Seed makes the trial fully reproducible.
+	Seed uint64
+	// Client is the browser environment (defaults to the full-fidelity
+	// testbed client of §3.3).
+	Client *browser.Client
+	// SampleQueueEvery enables queue-occupancy sampling (Fig 8); zero
+	// disables it.
+	SampleQueueEvery sim.Time
+	// SampleRateEvery enables per-service throughput series (Fig 4).
+	SampleRateEvery sim.Time
+}
+
+// DefaultTiming applies the paper's trial timing: 10 minutes total,
+// first and last 2 minutes ignored.
+func (s Spec) DefaultTiming() Spec {
+	s.Duration, s.Warmup, s.Cooldown = 10*sim.Minute, 2*sim.Minute, 2*sim.Minute
+	return s
+}
+
+// QuickTiming applies a compressed trial suitable for tests and laptop
+// benchmark runs: 60 seconds with 10-second head/tail trims. Shape-level
+// conclusions are unchanged; absolute confidence is lower, which the
+// scheduler's trial escalation compensates for.
+func (s Spec) QuickTiming() Spec {
+	s.Duration, s.Warmup, s.Cooldown = 60*sim.Second, 10*sim.Second, 5*sim.Second
+	return s
+}
+
+// MaxExternalLoss is the external (upstream) loss fraction above which a
+// trial is discarded (§3.1: 0.05%).
+const MaxExternalLoss = 0.0005
+
+// TrialResult is everything one experiment produced.
+type TrialResult struct {
+	// Mbps is each slot's delivered throughput over the measurement
+	// window (incumbent = 0, contender = 1).
+	Mbps [2]float64
+	// FairShareMbps is each slot's max-min fair share given the link
+	// rate and the services' app-level caps.
+	FairShareMbps [2]float64
+	// SharePct is the headline number: percentage of MmF share achieved.
+	SharePct [2]float64
+	// Utilization is total delivered rate over link capacity (Fig 11).
+	Utilization float64
+	// Loss is each slot's bottleneck drop fraction (Fig 12).
+	Loss [2]float64
+	// QueueDelay is each slot's mean queueing delay (Fig 13).
+	QueueDelay [2]sim.Time
+	// ExternalLossRate is upstream (background-noise) loss over the run.
+	ExternalLossRate float64
+	// Discarded marks trials that exceeded MaxExternalLoss and must be
+	// re-run rather than counted (§3.1).
+	Discarded bool
+	// ServiceStats carries per-slot QoE metrics (§5).
+	ServiceStats [2]services.Stats
+	// QueueSeries and RateSeries are optional diagnostics.
+	QueueSeries []netem.OccupancySample
+	RateSeries  []metrics.RatePoint
+}
+
+// Validate checks a spec for structural errors.
+func (s Spec) Validate() error {
+	if s.Incumbent == nil {
+		return fmt.Errorf("core: spec requires an incumbent service")
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("core: spec requires a positive duration (use DefaultTiming)")
+	}
+	if s.Warmup+s.Cooldown >= s.Duration {
+		return fmt.Errorf("core: warmup %v + cooldown %v leave no measurement window in %v",
+			s.Warmup, s.Cooldown, s.Duration)
+	}
+	return nil
+}
+
+// RunTrial executes one experiment and reports its results. The entire
+// run is deterministic in (Spec, Seed).
+func RunTrial(spec Spec) (TrialResult, error) {
+	if err := spec.Validate(); err != nil {
+		return TrialResult{}, err
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(spec.Seed)
+	tb := netem.NewTestbed(eng, spec.Net, rng.Split())
+
+	client := browser.TestbedClient()
+	if spec.Client != nil {
+		client = *spec.Client
+	}
+
+	if spec.SampleQueueEvery > 0 {
+		tb.Bneck.StartSampling(spec.SampleQueueEvery)
+	}
+	var sampler *metrics.RateSampler
+	if spec.SampleRateEvery > 0 {
+		sampler = metrics.NewRateSampler(eng, tb.Bneck, spec.SampleRateEvery)
+	}
+
+	// Start services with a small jitter so paired control loops do not
+	// phase-lock on the simulation grid.
+	type started struct {
+		inst services.Instance
+	}
+	var insts [2]*started
+	caps := [2]int64{spec.Incumbent.MaxRateBps(), 0}
+	if spec.Contender != nil {
+		caps[1] = spec.Contender.MaxRateBps()
+	}
+	for slot, svc := range []services.Service{spec.Incumbent, spec.Contender} {
+		if svc == nil {
+			continue
+		}
+		svc := svc
+		env := &services.Env{
+			Eng:    eng,
+			TB:     tb,
+			Slot:   slot,
+			RNG:    rng.Split(),
+			Client: client,
+		}
+		st := &started{}
+		insts[slot] = st
+		eng.After(rng.Duration(100*sim.Millisecond), func(sim.Time) {
+			st.inst = svc.Start(env)
+		})
+	}
+
+	// Snapshot bottleneck counters at the window edges.
+	var snapStart, snapEnd [2]netem.ServiceStats
+	eng.Schedule(spec.Warmup, func(sim.Time) {
+		snapStart = [2]netem.ServiceStats{tb.Bneck.Stats(0), tb.Bneck.Stats(1)}
+	})
+	eng.Schedule(spec.Duration-spec.Cooldown, func(sim.Time) {
+		snapEnd = [2]netem.ServiceStats{tb.Bneck.Stats(0), tb.Bneck.Stats(1)}
+	})
+
+	eng.RunUntil(spec.Duration)
+
+	window := spec.Duration - spec.Warmup - spec.Cooldown
+	res := TrialResult{ExternalLossRate: tb.ExternalLossRate()}
+	res.Discarded = res.ExternalLossRate > MaxExternalLoss
+
+	var win [2]metrics.WindowStats
+	for slot := 0; slot < 2; slot++ {
+		win[slot] = metrics.Sub(snapEnd[slot], snapStart[slot])
+		res.Mbps[slot] = win[slot].ThroughputMbps(window)
+		res.Loss[slot] = win[slot].LossRate()
+		res.QueueDelay[slot] = win[slot].MeanQueueDelay()
+	}
+	res.Utilization = metrics.LinkUtilization(
+		[2]int64{win[0].Bytes, win[1].Bytes}, spec.Net.RateBps, window)
+
+	fair := metrics.MmFShares(spec.Net.RateBps, caps)
+	for slot := 0; slot < 2; slot++ {
+		res.FairShareMbps[slot] = fair[slot] / 1e6
+		res.SharePct[slot] = metrics.SharePercent(res.Mbps[slot]*1e6, fair[slot])
+	}
+
+	for slot, st := range insts {
+		if st == nil || st.inst == nil {
+			continue
+		}
+		res.ServiceStats[slot] = st.inst.Stats()
+		st.inst.Stop()
+	}
+	res.QueueSeries = tb.Bneck.Samples()
+	if sampler != nil {
+		res.RateSeries = sampler.Points
+	}
+	return res, nil
+}
+
+// RunSolo measures a service alone (the calibration runs Prudentia uses
+// to detect upstream throttling, §3.1; Table 1's "Max Xput" column).
+func RunSolo(svc services.Service, net netem.Config, seed uint64, timing func(Spec) Spec) (TrialResult, error) {
+	spec := Spec{Incumbent: svc, Net: net, Seed: seed}
+	if timing != nil {
+		spec = timing(spec)
+	} else {
+		spec = spec.DefaultTiming()
+	}
+	return RunTrial(spec)
+}

@@ -1,0 +1,5 @@
+package core
+
+import "prudentia/internal/cca"
+
+func ccaV() cca.BBRVariant { return cca.BBRLinux415() }

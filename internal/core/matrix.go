@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+
+	"prudentia/internal/netem"
+	"prudentia/internal/services"
+)
+
+// Matrix runs the all-to-all pairwise protocol over a service list in one
+// network setting, producing the data behind the paper's heatmaps
+// (Figs 2, 11, 12, 13). Trials are interleaved round-robin across pairs
+// (§3.4: "to limit the effect of temporally-localized performance
+// issues") and pairs whose throughput CI stays too wide are re-queued in
+// sets of Step trials up to MaxTrials, exactly the live system's
+// behaviour.
+type Matrix struct {
+	Services []services.Service
+	Net      netem.Config
+	Opts     SchedulerOptions
+
+	// Progress, if non-nil, receives a line per completed pair.
+	Progress func(format string, args ...any)
+}
+
+// pairState tracks one unordered pair through the round-robin scheduler.
+type pairState struct {
+	a, b    int // indices into Services (a <= b)
+	outcome *PairOutcome
+	target  int // trials to run before the next CI evaluation
+	done    bool
+	seed    uint64
+	svcA    services.Service
+	svcB    services.Service
+}
+
+// MatrixResult holds every pair outcome plus name indexing.
+type MatrixResult struct {
+	Names []string
+	Net   netem.Config
+	// Pairs maps "a|b" (a, b sorted catalog indices) to outcomes where
+	// slot 0 is the lower-index service.
+	Pairs map[string]*PairOutcome
+}
+
+func pairKey(a, b int) string { return fmt.Sprintf("%d|%d", a, b) }
+
+// Run executes the matrix.
+func (m *Matrix) Run() (*MatrixResult, error) {
+	opts := m.Opts.withDefaults()
+	res := &MatrixResult{
+		Net:   m.Net,
+		Pairs: make(map[string]*PairOutcome),
+	}
+	var states []*pairState
+	for i := range m.Services {
+		res.Names = append(res.Names, m.Services[i].Name())
+		for j := i; j < len(m.Services); j++ {
+			st := &pairState{
+				a: i, b: j,
+				svcA:   m.Services[i],
+				svcB:   m.Services[j],
+				target: opts.MinTrials,
+				seed:   opts.BaseSeed + uint64(i*1000+j)*101,
+				outcome: &PairOutcome{
+					Incumbent: m.Services[i].Name(),
+					Contender: m.Services[j].Name(),
+				},
+			}
+			states = append(states, st)
+			res.Pairs[pairKey(i, j)] = st.outcome
+		}
+	}
+
+	// Round-robin: one trial per pending pair per round.
+	for {
+		pending := false
+		for _, st := range states {
+			if st.done {
+				continue
+			}
+			pending = true
+			if err := m.runOne(st, opts); err != nil {
+				return nil, err
+			}
+			m.evaluate(st, opts)
+		}
+		if !pending {
+			break
+		}
+	}
+	return res, nil
+}
+
+// runOne executes a single counted trial for the pair (retrying
+// noise-discarded trials immediately).
+func (m *Matrix) runOne(st *pairState, opts SchedulerOptions) error {
+	for {
+		spec := Spec{
+			Incumbent: st.svcA,
+			Contender: st.svcB,
+			Net:       m.Net,
+			Seed:      st.seed,
+		}
+		st.seed++
+		if opts.Timing != nil {
+			spec = opts.Timing(spec)
+		} else {
+			spec = spec.DefaultTiming()
+		}
+		res, err := RunTrial(spec)
+		if err != nil {
+			return err
+		}
+		if res.Discarded {
+			st.outcome.Discards++
+			if st.outcome.Discards > opts.MaxDiscards {
+				st.outcome.Unstable = true
+				st.done = true
+				return nil
+			}
+			continue
+		}
+		st.outcome.Trials = append(st.outcome.Trials, res)
+		return nil
+	}
+}
+
+// evaluate applies the stopping rule at batch boundaries.
+func (m *Matrix) evaluate(st *pairState, opts SchedulerOptions) {
+	n := len(st.outcome.Trials)
+	if n < st.target {
+		return
+	}
+	if st.outcome.ciSatisfied(opts.ToleranceMbps) {
+		st.done = true
+	} else if st.target < opts.MaxTrials {
+		st.target += opts.Step
+		if st.target > opts.MaxTrials {
+			st.target = opts.MaxTrials
+		}
+	} else {
+		st.outcome.Unstable = true
+		st.done = true
+	}
+	if st.done && m.Progress != nil {
+		m.Progress("pair %s vs %s: %d trials, share %.0f%%/%.0f%%, unstable=%v",
+			st.outcome.Incumbent, st.outcome.Contender, n,
+			st.outcome.MedianSharePct(0), st.outcome.MedianSharePct(1),
+			st.outcome.Unstable)
+	}
+}
+
+// indexOf resolves a service name in the result.
+func (r *MatrixResult) indexOf(name string) int {
+	for i, n := range r.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Cell returns the pair outcome and which slot `incumbent` occupies in
+// it. ok is false if either name is unknown.
+func (r *MatrixResult) Cell(incumbent, contender string) (p *PairOutcome, slot int, ok bool) {
+	i, c := r.indexOf(incumbent), r.indexOf(contender)
+	if i < 0 || c < 0 {
+		return nil, 0, false
+	}
+	a, b, slot := i, c, 0
+	if a > b {
+		a, b, slot = c, i, 1
+	}
+	p, ok = r.Pairs[pairKey(a, b)]
+	return p, slot, ok
+}
+
+// SharePct returns the Fig 2 heatmap value: the median MmF share
+// percentage the incumbent obtained against the contender.
+func (r *MatrixResult) SharePct(incumbent, contender string) (float64, bool) {
+	p, slot, ok := r.Cell(incumbent, contender)
+	if !ok || len(p.Trials) == 0 {
+		return 0, false
+	}
+	return p.MedianSharePct(slot), true
+}
+
+// Utilization returns the Fig 11 value for a pair (symmetric).
+func (r *MatrixResult) Utilization(a, b string) (float64, bool) {
+	p, _, ok := r.Cell(a, b)
+	if !ok || len(p.Trials) == 0 {
+		return 0, false
+	}
+	return p.MedianUtilization(), true
+}
+
+// LossRate returns the Fig 12 value: incumbent's loss vs contender.
+func (r *MatrixResult) LossRate(incumbent, contender string) (float64, bool) {
+	p, slot, ok := r.Cell(incumbent, contender)
+	if !ok || len(p.Trials) == 0 {
+		return 0, false
+	}
+	return p.MedianLoss(slot), true
+}
+
+// QueueDelayMs returns the Fig 13 value in milliseconds.
+func (r *MatrixResult) QueueDelayMs(incumbent, contender string) (float64, bool) {
+	p, slot, ok := r.Cell(incumbent, contender)
+	if !ok || len(p.Trials) == 0 {
+		return 0, false
+	}
+	return p.MedianQueueDelay(slot).Seconds() * 1000, true
+}
+
+// LosingShares lists, for every ordered pair (incumbent, contender) with
+// i != c, the median share of the service that lost (<100%), supporting
+// the paper's Obs 1 summary statistics.
+func (r *MatrixResult) LosingShares() []float64 {
+	var out []float64
+	for i, a := range r.Names {
+		for j := i + 1; j < len(r.Names); j++ {
+			p := r.Pairs[pairKey(i, j)]
+			if p == nil || len(p.Trials) == 0 {
+				continue
+			}
+			s0, s1 := p.MedianSharePct(0), p.MedianSharePct(1)
+			if s0 < s1 {
+				out = append(out, s0)
+			} else {
+				out = append(out, s1)
+			}
+			_ = a
+		}
+	}
+	return out
+}
+
+// SelfShares lists each service's median share when competing with
+// another instance of itself (the Obs 1 "88% of MmF share" statistic).
+func (r *MatrixResult) SelfShares() []float64 {
+	var out []float64
+	for i := range r.Names {
+		p := r.Pairs[pairKey(i, i)]
+		if p == nil || len(p.Trials) == 0 {
+			continue
+		}
+		out = append(out, p.MedianSharePct(0), p.MedianSharePct(1))
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"prudentia/internal/netem"
+	"prudentia/internal/services"
+	"prudentia/internal/sim"
+	"prudentia/internal/stats"
+)
+
+// SchedulerOptions govern the §3.4 trial-escalation protocol.
+type SchedulerOptions struct {
+	// MinTrials is the initial batch (paper: 10); more trials run in
+	// Step-sized sets up to MaxTrials (paper: 30) until the 95% CI of
+	// the median throughput is within ToleranceMbps.
+	MinTrials, MaxTrials, Step int
+	// ToleranceMbps is the CI half-width target: 0.5 in the
+	// highly-constrained setting, 1.5 in the moderately-constrained one.
+	ToleranceMbps float64
+	// BaseSeed scopes the deterministic seed sequence.
+	BaseSeed uint64
+	// Timing transforms each trial's Spec (DefaultTiming, QuickTiming,
+	// or custom); nil means DefaultTiming.
+	Timing func(Spec) Spec
+	// MaxDiscards bounds re-runs of noise-discarded trials.
+	MaxDiscards int
+}
+
+// PaperOptions returns the per-setting options the paper uses.
+func PaperOptions(net netem.Config) SchedulerOptions {
+	tol := 1.5
+	if net.RateBps <= 10_000_000 {
+		tol = 0.5
+	}
+	return SchedulerOptions{
+		MinTrials: 10, MaxTrials: 30, Step: 10,
+		ToleranceMbps: tol,
+		MaxDiscards:   10,
+	}
+}
+
+// QuickOptions returns a laptop-scale configuration: fewer, shorter
+// trials with a proportionally looser CI target.
+func QuickOptions(net netem.Config) SchedulerOptions {
+	o := PaperOptions(net)
+	o.MinTrials, o.MaxTrials, o.Step = 3, 9, 3
+	o.ToleranceMbps *= 3
+	o.Timing = Spec.QuickTiming
+	return o
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.MinTrials == 0 {
+		o.MinTrials = 10
+	}
+	if o.MaxTrials == 0 {
+		o.MaxTrials = 30
+	}
+	if o.Step == 0 {
+		o.Step = 10
+	}
+	if o.ToleranceMbps == 0 {
+		o.ToleranceMbps = 1.5
+	}
+	if o.MaxDiscards == 0 {
+		o.MaxDiscards = 10
+	}
+	return o
+}
+
+// PairOutcome aggregates all counted trials of one service pair. One
+// experiment yields two numbers (§2.2): slot 0 is the incumbent's view,
+// slot 1 the contender's, so a single pair fills two heatmap cells.
+type PairOutcome struct {
+	Incumbent, Contender string
+	Trials               []TrialResult
+	// Discards counts noise-discarded (re-run) trials.
+	Discards int
+	// Unstable marks pairs that exhausted MaxTrials without meeting the
+	// CI criterion — the paper's Obs 15 services (OneDrive, Vimeo).
+	Unstable bool
+}
+
+// mbps returns the per-trial throughput series for one slot.
+func (p *PairOutcome) mbps(slot int) []float64 {
+	out := make([]float64, len(p.Trials))
+	for i, t := range p.Trials {
+		out[i] = t.Mbps[slot]
+	}
+	return out
+}
+
+// SharePcts returns the per-trial MmF share percentages for one slot.
+func (p *PairOutcome) SharePcts(slot int) []float64 {
+	out := make([]float64, len(p.Trials))
+	for i, t := range p.Trials {
+		out[i] = t.SharePct[slot]
+	}
+	return out
+}
+
+// MedianSharePct is the heatmap cell value for a slot.
+func (p *PairOutcome) MedianSharePct(slot int) float64 {
+	return stats.Median(p.SharePcts(slot))
+}
+
+// IQRSharePct is the error bar for a slot.
+func (p *PairOutcome) IQRSharePct(slot int) float64 {
+	return stats.IQR(p.SharePcts(slot))
+}
+
+// MedianMbps is the median measured throughput for a slot.
+func (p *PairOutcome) MedianMbps(slot int) float64 {
+	return stats.Median(p.mbps(slot))
+}
+
+// MedianUtilization is the Fig 11 cell value.
+func (p *PairOutcome) MedianUtilization() float64 {
+	xs := make([]float64, len(p.Trials))
+	for i, t := range p.Trials {
+		xs[i] = t.Utilization
+	}
+	return stats.Median(xs)
+}
+
+// MedianLoss is the Fig 12 cell value for a slot.
+func (p *PairOutcome) MedianLoss(slot int) float64 {
+	xs := make([]float64, len(p.Trials))
+	for i, t := range p.Trials {
+		xs[i] = t.Loss[slot]
+	}
+	return stats.Median(xs)
+}
+
+// MedianQueueDelay is the Fig 13 cell value for a slot.
+func (p *PairOutcome) MedianQueueDelay(slot int) sim.Time {
+	xs := make([]float64, len(p.Trials))
+	for i, t := range p.Trials {
+		xs[i] = t.QueueDelay[slot].Seconds()
+	}
+	return sim.Time(stats.Median(xs) * float64(sim.Second))
+}
+
+// ciSatisfied applies the §3.4 stopping rule to both slots' throughput.
+func (p *PairOutcome) ciSatisfied(tol float64) bool {
+	if len(p.Trials) == 0 {
+		return false
+	}
+	return stats.CIWithin(p.mbps(0), tol) && stats.CIWithin(p.mbps(1), tol)
+}
+
+// RunPair runs the full protocol for one pair in one network setting.
+func RunPair(incumbent, contender services.Service, net netem.Config, opts SchedulerOptions) (*PairOutcome, error) {
+	opts = opts.withDefaults()
+	p := &PairOutcome{Incumbent: incumbent.Name()}
+	if contender != nil {
+		p.Contender = contender.Name()
+	}
+	seed := opts.BaseSeed
+	for len(p.Trials) < opts.MaxTrials {
+		spec := Spec{Incumbent: incumbent, Contender: contender, Net: net, Seed: seed}
+		seed++
+		if opts.Timing != nil {
+			spec = opts.Timing(spec)
+		} else {
+			spec = spec.DefaultTiming()
+		}
+		res, err := RunTrial(spec)
+		if err != nil {
+			return nil, err
+		}
+		if res.Discarded {
+			p.Discards++
+			if p.Discards > opts.MaxDiscards {
+				p.Unstable = true
+				break
+			}
+			continue
+		}
+		p.Trials = append(p.Trials, res)
+		// Evaluate the stopping rule at batch boundaries only.
+		n := len(p.Trials)
+		if n >= opts.MinTrials && (n-opts.MinTrials)%opts.Step == 0 {
+			if p.ciSatisfied(opts.ToleranceMbps) {
+				return p, nil
+			}
+		}
+	}
+	p.Unstable = !p.ciSatisfied(opts.ToleranceMbps)
+	return p, nil
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"prudentia/internal/netem"
+	"prudentia/internal/services"
+	"prudentia/internal/sim"
+)
+
+func TestDebugRawShares(t *testing.T) {
+	if os.Getenv("PRUDENTIA_SHAPES") == "" {
+		t.Skip("shape diagnostics; set PRUDENTIA_SHAPES=1 to run")
+	}
+	run := func(inc, cont string, net netem.Config, dur sim.Time) {
+		spec := Spec{Incumbent: services.ByName(inc), Contender: services.ByName(cont), Net: net, Seed: 7,
+			Duration: dur, Warmup: dur / 4, Cooldown: dur / 12}
+		r, err := RunTrial(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%-14s vs %-14s @%2.0fMbps %4.0fs: %6.2f/%6.2f Mbps loss %.4f/%.4f\n",
+			inc, cont, float64(net.RateBps)/1e6, dur.Seconds(), r.Mbps[0], r.Mbps[1], r.Loss[0], r.Loss[1])
+	}
+	hc, mc := netem.HighlyConstrained(), netem.ModeratelyConstrained()
+	run("iPerf (BBR 4.15)", "iPerf (Reno)", hc, 60*sim.Second)
+	run("iPerf (BBR 4.15)", "iPerf (Reno)", hc, 240*sim.Second)
+	run("iPerf (Reno)", "iPerf (Cubic)", mc, 240*sim.Second)
+	run("iPerf (Reno)", "iPerf (Cubic)", hc, 240*sim.Second)
+	run("iPerf (Reno)", "Mega", mc, 240*sim.Second)
+	run("iPerf (Cubic)", "Mega", mc, 240*sim.Second)
+}

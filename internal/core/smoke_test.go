@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"prudentia/internal/netem"
+	"prudentia/internal/services"
+)
+
+func TestSmokeShapes(t *testing.T) {
+	if os.Getenv("PRUDENTIA_SHAPES") == "" {
+		t.Skip("shape diagnostics; set PRUDENTIA_SHAPES=1 to run")
+	}
+	run := func(inc, cont string, net netem.Config) {
+		spec := Spec{Incumbent: services.ByName(inc), Contender: services.ByName(cont), Net: net, Seed: 42}.QuickTiming()
+		r, err := RunTrial(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%-14s vs %-14s @%2.0fMbps: %6.2f/%6.2f Mbps share %3.0f%%/%3.0f%% util %.2f loss %.3f/%.3f qd %v/%v\n",
+			inc, cont, float64(net.RateBps)/1e6, r.Mbps[0], r.Mbps[1], r.SharePct[0], r.SharePct[1],
+			r.Utilization, r.Loss[0], r.Loss[1], r.QueueDelay[0], r.QueueDelay[1])
+	}
+	mc, hc := netem.ModeratelyConstrained(), netem.HighlyConstrained()
+	run("iPerf (Reno)", "iPerf (Reno)", hc)
+	run("iPerf (Reno)", "iPerf (Cubic)", hc)
+	run("iPerf (Reno)", "iPerf (Cubic)", mc)
+	run("iPerf (Reno)", "Mega", mc)
+	run("iPerf (Cubic)", "Mega", mc)
+	run("Dropbox", "Mega", mc)
+	run("OneDrive", "Mega", mc)
+	run("Dropbox", "iPerf (5xBBR)", mc)
+	run("iPerf (Reno)", "iPerf (5xBBR)", mc)
+	run("YouTube", "iPerf (Reno)", hc)
+	run("YouTube", "Mega", hc)
+	run("YouTube", "Dropbox", mc)
+	run("Netflix", "iPerf (Reno)", hc)
+	run("Vimeo", "iPerf (Reno)", hc)
+	run("YouTube", "YouTube", hc)
+}

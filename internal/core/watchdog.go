@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"prudentia/internal/netem"
+	"prudentia/internal/services"
+	"prudentia/internal/stats"
+)
+
+// Watchdog is the continuously-running fairness monitor: it cycles the
+// all-pairs matrix across its network settings, keeps per-cycle history
+// (how the paper detected the 2022→2023 Google Drive and YouTube stack
+// changes, Obs 13), runs solo calibrations to detect upstream throttling
+// (§3.1), and accepts third-party service submissions gated by access
+// codes (Appendix A).
+type Watchdog struct {
+	// Services is the catalog under test.
+	Services []services.Service
+	// Settings are the network environments to cycle through; defaults
+	// to the paper's two standing settings.
+	Settings []netem.Config
+	// Opts configures the per-pair protocol (PaperOptions applied
+	// per-setting when zero-valued).
+	Opts SchedulerOptions
+	// AccessCodes gate third-party submissions.
+	AccessCodes []string
+	// Progress, if non-nil, receives human-readable progress lines.
+	Progress func(format string, args ...any)
+
+	cycles      []*CycleResult
+	submissions []Submission
+}
+
+// CycleResult is one complete iteration over all pairs in all settings.
+type CycleResult struct {
+	// Cycle is the 1-based iteration number.
+	Cycle int
+	// PerSetting maps each setting (by index into Settings) to its
+	// matrix result.
+	PerSetting []*MatrixResult
+	// Calibration holds each service's solo throughput per setting, the
+	// Table 1 "Max Xput" check.
+	Calibration []map[string]float64
+}
+
+// Submission is a third-party service queued for evaluation (Appendix A).
+type Submission struct {
+	URL     string
+	Service services.Service
+}
+
+// NewWatchdog returns a watchdog over the standard catalog and settings.
+func NewWatchdog() *Watchdog {
+	return &Watchdog{
+		Services: services.ThroughputCatalog(),
+		Settings: []netem.Config{netem.HighlyConstrained(), netem.ModeratelyConstrained()},
+		// Access codes published in the paper's Appendix A for
+		// third-party testing.
+		AccessCodes: []string{
+			"KD4p1Z8Gs1SVPHUrTOVTMNHtvUnMSmvZ",
+			"A7mH2gHPmtlhbpb8ajfe48oCzA7hp6VB",
+			"5PWWIvTUxZSYVhIuEiBEmOOOog8zgrGa",
+			"XrVzJ3evvkVpoAf3k54mYuY0tCgjTD2k",
+			"bTXmWjSdAmQf4ULItqH2JCR5oX8jZvhL",
+		},
+	}
+}
+
+// Submit queues a custom URL for testing. The URL is modelled as a web
+// page whose parameters derive deterministically from the URL string.
+// An invalid access code is rejected.
+func (w *Watchdog) Submit(url, accessCode string) error {
+	ok := false
+	for _, c := range w.AccessCodes {
+		if c == accessCode {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("core: invalid access code for submission %q", url)
+	}
+	if url == "" {
+		return fmt.Errorf("core: submission requires a URL")
+	}
+	svc := customURLService(url)
+	w.submissions = append(w.submissions, Submission{URL: url, Service: svc})
+	w.Services = append(w.Services, svc)
+	return nil
+}
+
+// Submissions lists accepted submissions.
+func (w *Watchdog) Submissions() []Submission { return w.submissions }
+
+// customURLService builds a web-page model whose weight and flow count
+// derive deterministically from the URL (a stand-in for fetching and
+// profiling the real page, which the live system does with Chrome).
+func customURLService(url string) services.Service {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(url); i++ {
+		h ^= uint64(url[i])
+		h *= 1099511628211
+	}
+	page := services.NewWikipedia(nil)
+	page.ServiceName = url
+	page.Factory = services.CubicFactory()
+	page.TotalBytes = 500_000 + int64(h%4_000_000)
+	page.Flows = 4 + int(h%16)
+	page.Resources = 10 + int(h%40)
+	page.AboveFoldFrac = 0.5 + float64(h%40)/100
+	return page
+}
+
+// RunCycle executes one full iteration and appends it to the history.
+func (w *Watchdog) RunCycle() (*CycleResult, error) {
+	cr := &CycleResult{Cycle: len(w.cycles) + 1}
+	for si, net := range w.Settings {
+		opts := w.Opts
+		if opts.MinTrials == 0 && opts.ToleranceMbps == 0 {
+			opts = PaperOptions(net)
+		}
+		// Seed-scope each cycle and setting so re-runs differ but stay
+		// reproducible.
+		opts.BaseSeed += uint64(cr.Cycle)*1_000_003 + uint64(si)*7_919
+
+		// Solo calibration first (§3.1): detect upstream throttling.
+		cal := make(map[string]float64, len(w.Services))
+		for i, svc := range w.Services {
+			tr, err := RunSolo(svc, net, opts.BaseSeed+uint64(i)*13, opts.Timing)
+			if err != nil {
+				return nil, err
+			}
+			cal[svc.Name()] = tr.Mbps[0]
+		}
+		cr.Calibration = append(cr.Calibration, cal)
+
+		m := &Matrix{Services: w.Services, Net: net, Opts: opts, Progress: w.Progress}
+		res, err := m.Run()
+		if err != nil {
+			return nil, err
+		}
+		cr.PerSetting = append(cr.PerSetting, res)
+	}
+	w.cycles = append(w.cycles, cr)
+	return cr, nil
+}
+
+// History returns all completed cycles.
+func (w *Watchdog) History() []*CycleResult { return w.cycles }
+
+// ThrottledServices reports services whose solo throughput in the given
+// setting stayed below frac of the link capacity — the rule that flags
+// OneDrive's external 45 Mbps cap in Table 1. Only meaningful for
+// services without an intrinsic cap.
+func (c *CycleResult) ThrottledServices(setting int, net netem.Config, svcs []services.Service, frac float64) []string {
+	if setting >= len(c.Calibration) {
+		return nil
+	}
+	linkMbps := float64(net.RateBps) / 1e6
+	var out []string
+	for _, svc := range svcs {
+		if svc.MaxRateBps() > 0 {
+			continue // intrinsically capped (video, RTC)
+		}
+		if got, ok := c.Calibration[setting][svc.Name()]; ok && got < frac*linkMbps {
+			out = append(out, svc.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ChangeReport compares a service's median throughput against a given
+// contender across two cycles (the Fig 9a analysis: Google Drive and
+// YouTube improved between 2022 and 2023 measurement periods).
+type ChangeReport struct {
+	Service, Versus string
+	BeforeMbps      float64
+	AfterMbps       float64
+	ImprovementPct  float64
+}
+
+// CompareCycles builds a ChangeReport from two cycles for one setting.
+func CompareCycles(before, after *CycleResult, setting int, service, versus string) (ChangeReport, bool) {
+	rep := ChangeReport{Service: service, Versus: versus}
+	if setting >= len(before.PerSetting) || setting >= len(after.PerSetting) {
+		return rep, false
+	}
+	b, bs, ok1 := before.PerSetting[setting].Cell(service, versus)
+	a, as, ok2 := after.PerSetting[setting].Cell(service, versus)
+	if !ok1 || !ok2 || len(b.Trials) == 0 || len(a.Trials) == 0 {
+		return rep, false
+	}
+	rep.BeforeMbps = b.MedianMbps(bs)
+	rep.AfterMbps = a.MedianMbps(as)
+	if rep.BeforeMbps > 0 {
+		rep.ImprovementPct = 100 * (rep.AfterMbps - rep.BeforeMbps) / rep.BeforeMbps
+	}
+	return rep, true
+}
+
+// InstabilityReport summarizes trial-level spread for a pair (Fig 10):
+// services like OneDrive and Vimeo show wide trial-to-trial variance.
+type InstabilityReport struct {
+	Incumbent, Contender string
+	Slot                 int
+	TrialMbps            []float64
+	IQR                  float64
+	Unstable             bool
+}
+
+// Instability extracts the Fig 10 scatter for one ordered pair.
+func (r *MatrixResult) Instability(incumbent, contender string) (InstabilityReport, bool) {
+	p, slot, ok := r.Cell(incumbent, contender)
+	if !ok || len(p.Trials) == 0 {
+		return InstabilityReport{}, false
+	}
+	rep := InstabilityReport{
+		Incumbent: incumbent, Contender: contender, Slot: slot,
+		Unstable: p.Unstable,
+	}
+	rep.TrialMbps = p.mbps(slot)
+	rep.IQR = stats.IQR(rep.TrialMbps)
+	return rep, true
+}

@@ -1,0 +1,44 @@
+package netem
+
+import "prudentia/internal/sim"
+
+// NoiseConfig models transient upstream congestion outside the testbed's
+// control (§3.1 "Background Noise"): memoryless episodes during which
+// upstream packets are dropped with some probability. Prudentia cannot
+// prevent this on the real Internet, so it detects and discards affected
+// trials; the injector gives that machinery controllable ground truth.
+type NoiseConfig struct {
+	// MeanEpisodeGap is the mean quiet interval between episodes.
+	MeanEpisodeGap sim.Time
+	// MeanEpisodeLen is the mean duration of a loss episode.
+	MeanEpisodeLen sim.Time
+	// DropProbability applies to upstream packets while an episode is
+	// active.
+	DropProbability float64
+}
+
+type noiseInjector struct {
+	rng       *sim.RNG
+	cfg       NoiseConfig
+	activeTil sim.Time
+}
+
+// newNoiseInjector starts the episode process on the engine.
+func newNoiseInjector(eng *sim.Engine, rng *sim.RNG, cfg NoiseConfig) *noiseInjector {
+	if rng == nil {
+		rng = sim.NewRNG(0)
+	}
+	n := &noiseInjector{rng: rng, cfg: cfg}
+	var next sim.Event
+	next = func(now sim.Time) {
+		n.activeTil = now + rng.Exp(cfg.MeanEpisodeLen)
+		eng.After(rng.Exp(cfg.MeanEpisodeGap), next)
+	}
+	eng.After(rng.Exp(cfg.MeanEpisodeGap), next)
+	return n
+}
+
+// drops decides whether a packet crossing the upstream hop now is lost.
+func (n *noiseInjector) drops(now sim.Time) bool {
+	return now < n.activeTil && n.rng.Float64() < n.cfg.DropProbability
+}

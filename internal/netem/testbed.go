@@ -1,0 +1,196 @@
+package netem
+
+import (
+	"fmt"
+
+	"prudentia/internal/sim"
+)
+
+// Config describes one emulated network setting (§3.1).
+type Config struct {
+	// RateBps is the bottleneck bandwidth. The paper's two standing
+	// settings are 8 Mbps ("highly-constrained") and 50 Mbps
+	// ("moderately-constrained").
+	RateBps int64
+	// RTT is the normalized round-trip propagation time; Prudentia pads
+	// every service to 50 ms.
+	RTT sim.Time
+	// QueueCapacity is the drop-tail queue limit in packets. Leave zero
+	// to apply the paper's rule: nearest power of two to BufferBDP×BDP.
+	QueueCapacity int
+	// BufferBDP is the BDP multiple used when QueueCapacity is zero;
+	// zero means the default 4.
+	BufferBDP int
+	// Noise optionally enables the upstream background-noise process.
+	Noise *NoiseConfig
+	// NoJitter disables the default 2 ms upstream delay jitter (used by
+	// ablation benchmarks; see Testbed.UpstreamJitter for why the jitter
+	// exists).
+	NoJitter bool
+}
+
+// HighlyConstrained returns the paper's 8 Mbps setting.
+func HighlyConstrained() Config {
+	return Config{RateBps: 8_000_000, RTT: 50 * sim.Millisecond}
+}
+
+// ModeratelyConstrained returns the paper's 50 Mbps setting.
+func ModeratelyConstrained() Config {
+	return Config{RateBps: 50_000_000, RTT: 50 * sim.Millisecond}
+}
+
+// queueCapacity resolves the effective queue size for the config.
+func (c Config) queueCapacity() int {
+	if c.QueueCapacity > 0 {
+		return c.QueueCapacity
+	}
+	mult := c.BufferBDP
+	if mult == 0 {
+		mult = 4
+	}
+	return QueueSizePackets(c.RateBps, c.RTT, mult)
+}
+
+// endpoint is the registered pair of handlers for one flow.
+type endpoint struct {
+	service  int
+	toClient Handler // delivers data packets at the client
+	toServer Handler // delivers ACKs back at the server
+}
+
+// Testbed is the dumbbell: per-flow server-side ingress, an upstream
+// propagation stage (with optional noise), the shared bottleneck, and the
+// uncongested ACK return path. RTT normalization follows §3.1: whatever a
+// service's native path delay, the switch pads the loop to Config.RTT.
+type Testbed struct {
+	Eng *sim.Engine
+	Cfg Config
+
+	Bneck *Bottleneck
+
+	upstreamDelay sim.Time // server -> switch
+	ackDelay      sim.Time // client -> server (returning ACKs)
+
+	flows []endpoint
+	noise *noiseInjector
+	rng   *sim.RNG
+
+	// UpstreamJitter is the maximum uniform per-packet delay jitter on
+	// the server→switch hop. Real Internet paths exhibit millisecond
+	// jitter; without it a deterministic simulator gives the flow that
+	// "owns" a full queue a perfect drop-tail lockout (each of its
+	// ACK-clocked arrivals exactly claims the slot its own departure
+	// freed), which starves competing traffic unrealistically. Packet
+	// order within a flow is preserved.
+	UpstreamJitter sim.Time
+
+	lastArrival []sim.Time // per-flow monotonic arrival clock
+
+	// ExternalDrops counts packets lost to upstream background noise;
+	// the watchdog discards trials whose external loss exceeds 0.05 %.
+	ExternalDrops int64
+	upstreamSent  int64
+}
+
+// NewTestbed assembles the dumbbell for one experiment on a fresh engine.
+func NewTestbed(eng *sim.Engine, cfg Config, rng *sim.RNG) *Testbed {
+	if cfg.RTT <= 0 {
+		panic("netem: config requires positive RTT")
+	}
+	// Split the propagation RTT: a short hop from servers to the switch,
+	// the rest on the downstream + ACK return. The split is arbitrary for
+	// dynamics as long as the loop sums to cfg.RTT; a short upstream hop
+	// keeps reaction to ACKs prompt, as with nearby CDN front-ends.
+	up := cfg.RTT / 10
+	down := cfg.RTT * 4 / 10
+	ack := cfg.RTT - up - down
+
+	if rng == nil {
+		rng = sim.NewRNG(0)
+	}
+	tb := &Testbed{
+		Eng:            eng,
+		Cfg:            cfg,
+		upstreamDelay:  up,
+		ackDelay:       ack,
+		rng:            rng,
+		UpstreamJitter: 2 * sim.Millisecond,
+	}
+	if cfg.NoJitter {
+		tb.UpstreamJitter = 0
+	}
+	tb.Bneck = NewBottleneck(eng, cfg.RateBps, cfg.queueCapacity(), down)
+	tb.Bneck.Output = tb.deliverToClient
+	if cfg.Noise != nil {
+		tb.noise = newNoiseInjector(eng, rng, *cfg.Noise)
+	}
+	return tb
+}
+
+// RegisterFlow adds a transport flow owned by experiment slot service.
+// toClient receives data packets after the bottleneck; toServer receives
+// returning ACKs. It returns the assigned FlowID.
+func (tb *Testbed) RegisterFlow(service int, toClient, toServer Handler) int {
+	if service < 0 || service >= MaxServices {
+		panic(fmt.Sprintf("netem: service slot %d out of range", service))
+	}
+	tb.flows = append(tb.flows, endpoint{service: service, toClient: toClient, toServer: toServer})
+	tb.lastArrival = append(tb.lastArrival, 0)
+	return len(tb.flows) - 1
+}
+
+// SendData injects a data packet at the server side of flow p.FlowID. It
+// traverses the upstream hop (where background noise may drop it) and then
+// the bottleneck.
+func (tb *Testbed) SendData(now sim.Time, p *Packet) {
+	tb.upstreamSent++
+	if tb.noise != nil && tb.noise.drops(now) {
+		tb.ExternalDrops++
+		return
+	}
+	delay := tb.upstreamDelay
+	if tb.UpstreamJitter > 0 {
+		delay += tb.rng.Duration(tb.UpstreamJitter)
+	}
+	// Keep arrivals within a flow in order despite the jitter.
+	arrival := now + delay
+	if fid := p.FlowID; fid >= 0 && fid < len(tb.lastArrival) {
+		if arrival <= tb.lastArrival[fid] {
+			arrival = tb.lastArrival[fid] + sim.Nanosecond
+		}
+		tb.lastArrival[fid] = arrival
+	}
+	tb.Eng.Schedule(arrival, func(at sim.Time) {
+		tb.Bneck.Enqueue(at, p)
+	})
+}
+
+func (tb *Testbed) deliverToClient(now sim.Time, p *Packet) {
+	ep := tb.flows[p.FlowID]
+	if ep.toClient != nil {
+		ep.toClient(now, p)
+	}
+}
+
+// SendAck returns an acknowledgement from the client to the server of
+// flow p.FlowID over the uncongested reverse path.
+func (tb *Testbed) SendAck(now sim.Time, p *Packet) {
+	ep := tb.flows[p.FlowID]
+	if ep.toServer == nil {
+		return
+	}
+	tb.Eng.After(tb.ackDelay, func(at sim.Time) {
+		ep.toServer(at, p)
+	})
+}
+
+// ExternalLossRate reports the fraction of upstream packets lost to noise.
+func (tb *Testbed) ExternalLossRate() float64 {
+	if tb.upstreamSent == 0 {
+		return 0
+	}
+	return float64(tb.ExternalDrops) / float64(tb.upstreamSent)
+}
+
+// BaseRTT returns the configured propagation RTT (excluding queueing).
+func (tb *Testbed) BaseRTT() sim.Time { return tb.Cfg.RTT }

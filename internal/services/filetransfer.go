@@ -1,0 +1,127 @@
+package services
+
+import (
+	"prudentia/internal/sim"
+	"prudentia/internal/transport"
+)
+
+// FileTransfer models the single-connection cloud-storage downloads in
+// the catalog (Dropbox, Google Drive, OneDrive). All file services
+// download the same 10 GB randomly-generated file (§3.2); at Prudentia's
+// link rates a 10-minute experiment never exhausts it, so the transfer
+// behaves as a chunked, effectively-endless download.
+type FileTransfer struct {
+	ServiceName string
+	Factory     AlgFactory
+	// ThrottleBps caps the server send rate (OneDrive's external
+	// 45 Mbps cap, Table 1). 0 = uncapped.
+	ThrottleBps int64
+	// ThrottleJitterBps widens the cap per instance: each trial draws a
+	// throttle uniformly from [ThrottleBps-Jitter, ThrottleBps]. This
+	// models the upstream volatility behind OneDrive's trial-to-trial
+	// instability (Obs 15, Fig 10).
+	ThrottleJitterBps int64
+	// RequestBytes, when nonzero, makes the client fetch the file in
+	// sequential ranged requests of this size with a server think-time
+	// between them (OneDrive behaves this way; Dropbox and Drive stream).
+	RequestBytes int64
+	// ThinkTimeMax bounds the random inter-request think time.
+	ThinkTimeMax sim.Time
+}
+
+// NewDropbox returns the Dropbox model: one BBRv1.0 flow (Table 1).
+func NewDropbox(f AlgFactory) *FileTransfer {
+	return &FileTransfer{ServiceName: "Dropbox", Factory: f}
+}
+
+// NewGoogleDrive returns the Google Drive model: one flow whose CCA is
+// BBRv3 in the 2023 deployment (and BBRv1.0 in 2022, Fig 9a).
+func NewGoogleDrive(f AlgFactory) *FileTransfer {
+	return &FileTransfer{ServiceName: "Google Drive", Factory: f}
+}
+
+// NewOneDrive returns the OneDrive model: extended Cubic, throttled
+// upstream to at most 45 Mbps, fetching ranged requests with think time.
+func NewOneDrive(f AlgFactory) *FileTransfer {
+	return &FileTransfer{
+		ServiceName:       "OneDrive",
+		Factory:           f,
+		ThrottleBps:       45_000_000,
+		ThrottleJitterBps: 33_000_000,
+		RequestBytes:      8 << 20,
+		ThinkTimeMax:      1500 * sim.Millisecond,
+	}
+}
+
+// Name implements Service.
+func (s *FileTransfer) Name() string { return s.ServiceName }
+
+// Category implements Service.
+func (s *FileTransfer) Category() Category { return CategoryFile }
+
+// MaxRateBps implements Service. It reports the *intrinsic* application
+// cap only, which file transfers do not have: OneDrive's 45 Mbps limit is
+// an external/upstream throttle the watchdog discovers via solo
+// calibration (§3.1, Table 1), not an advertised encoding limit, so the
+// paper's MmF arithmetic treats the service as unlimited.
+func (s *FileTransfer) MaxRateBps() int64 { return 0 }
+
+// FlowCount implements Service.
+func (s *FileTransfer) FlowCount() int { return 1 }
+
+// Start implements Service.
+func (s *FileTransfer) Start(env *Env) Instance {
+	throttle := s.ThrottleBps
+	if throttle > 0 && s.ThrottleJitterBps > 0 {
+		throttle -= int64(env.RNG.Uint64() % uint64(s.ThrottleJitterBps+1))
+	}
+	alg := s.Factory(env.RNG.Split())
+	opts := flowOptions(alg)
+	opts.ThrottleBps = throttle
+	flow := transport.NewFlow(env.TB, env.Slot, alg, opts)
+	inst := &fileInstance{env: env, flow: flow, svc: s}
+	if s.RequestBytes > 0 {
+		inst.nextRequest(env.Eng.Now())
+	} else {
+		flow.SetBulk()
+	}
+	return inst
+}
+
+type fileInstance struct {
+	env     *Env
+	svc     *FileTransfer
+	flow    *transport.Flow
+	stopped bool
+	stats   FileStats
+}
+
+// nextRequest issues one ranged request and schedules the next after a
+// think-time pause once it completes.
+func (i *fileInstance) nextRequest(now sim.Time) {
+	if i.stopped {
+		return
+	}
+	i.flow.Write(i.svc.RequestBytes, func(done sim.Time) {
+		i.stats.BytesCompleted += i.svc.RequestBytes
+		i.stats.ChunksCompleted++
+		if i.stopped {
+			return
+		}
+		think := i.env.RNG.Duration(i.svc.ThinkTimeMax)
+		i.env.Eng.After(think, i.nextRequest)
+	})
+}
+
+func (i *fileInstance) Stop() {
+	i.stopped = true
+	i.flow.Close()
+}
+
+func (i *fileInstance) Stats() Stats {
+	st := i.stats
+	if i.svc.RequestBytes == 0 {
+		st.BytesCompleted = i.flow.DeliveredBytes()
+	}
+	return Stats{File: &st}
+}

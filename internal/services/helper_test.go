@@ -1,0 +1,6 @@
+package services
+
+import "prudentia/internal/cca"
+
+// ccaBBR415 shortens the common BBRv1 (Linux 4.15) variant in tests.
+func ccaBBR415() cca.BBRVariant { return cca.BBRLinux415() }

@@ -1,0 +1,105 @@
+package services
+
+import (
+	"fmt"
+
+	"prudentia/internal/cca"
+	"prudentia/internal/sim"
+	"prudentia/internal/transport"
+)
+
+// AlgFactory builds a fresh congestion controller per flow. Each flow
+// gets its own RNG stream so multi-flow services de-synchronize the way
+// independent connections do.
+type AlgFactory func(rng *sim.RNG) cca.Algorithm
+
+// BBRFactory returns a factory for BBRv1 of the given variant.
+func BBRFactory(variant cca.BBRVariant) AlgFactory {
+	return func(rng *sim.RNG) cca.Algorithm {
+		return cca.NewBBR(cca.Config{}, variant, rng)
+	}
+}
+
+// BBRv3Factory returns a factory for BBRv3.
+func BBRv3Factory() AlgFactory {
+	return func(rng *sim.RNG) cca.Algorithm { return cca.NewBBRv3(cca.Config{}, rng) }
+}
+
+// CubicFactory returns a factory for standard Cubic.
+func CubicFactory() AlgFactory {
+	return func(*sim.RNG) cca.Algorithm { return cca.NewCubic(cca.Config{}) }
+}
+
+// CubicExtendedFactory returns the OneDrive Cubic variant.
+func CubicExtendedFactory() AlgFactory {
+	return func(*sim.RNG) cca.Algorithm { return cca.NewCubicExtended(cca.Config{}) }
+}
+
+// RenoFactory returns a factory for NewReno.
+func RenoFactory() AlgFactory {
+	return func(*sim.RNG) cca.Algorithm { return cca.NewNewReno(cca.Config{}) }
+}
+
+// IPerf is the baseline service class from Table 1: one or more
+// infinitely-backlogged flows with a chosen CCA. The paper uses it to
+// contrast application-level behaviour with CCA-only behaviour (its core
+// methodological point), and five-flow variants for Obs 4.
+type IPerf struct {
+	ServiceName string
+	Flows       int
+	Factory     AlgFactory
+}
+
+// NewIPerf builds a baseline with n flows.
+func NewIPerf(name string, n int, f AlgFactory) *IPerf {
+	if n <= 0 {
+		n = 1
+	}
+	return &IPerf{ServiceName: name, Flows: n, Factory: f}
+}
+
+// Name implements Service.
+func (s *IPerf) Name() string { return s.ServiceName }
+
+// Category implements Service.
+func (s *IPerf) Category() Category { return CategoryBaseline }
+
+// MaxRateBps implements Service: iPerf is unconstrained.
+func (s *IPerf) MaxRateBps() int64 { return 0 }
+
+// FlowCount implements Service.
+func (s *IPerf) FlowCount() int { return s.Flows }
+
+// Start implements Service.
+func (s *IPerf) Start(env *Env) Instance {
+	inst := &iperfInstance{}
+	for i := 0; i < s.Flows; i++ {
+		alg := s.Factory(env.RNG.Split())
+		f := transport.NewFlow(env.TB, env.Slot, alg, flowOptions(alg))
+		f.SetBulk()
+		inst.flows = append(inst.flows, f)
+	}
+	return inst
+}
+
+func (s *IPerf) String() string {
+	return fmt.Sprintf("%s (%d flows)", s.ServiceName, s.Flows)
+}
+
+type iperfInstance struct {
+	flows []*transport.Flow
+}
+
+func (i *iperfInstance) Stop() {
+	for _, f := range i.flows {
+		f.Close()
+	}
+}
+
+func (i *iperfInstance) Stats() Stats {
+	var total int64
+	for _, f := range i.flows {
+		total += f.DeliveredBytes()
+	}
+	return Stats{File: &FileStats{BytesCompleted: total}}
+}

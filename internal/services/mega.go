@@ -1,0 +1,125 @@
+package services
+
+import (
+	"prudentia/internal/sim"
+	"prudentia/internal/transport"
+)
+
+// Mega models the Mega file-distribution service, the most contentious
+// service in the paper's catalog (Obs 3, Obs 4). Its custom JavaScript
+// downloader opens five concurrent BBR connections and fetches the file
+// in *batches of five chunks*, one chunk per flow. A flow finishing its
+// chunk early goes idle until the entire batch completes; only then does
+// the next batch start — on all five connections at once, with their
+// congestion windows still wide open (no slow-start restart). The result
+// is the synchronized burst/gap pattern of Fig 4: loss-based competitors
+// take a loss burst and cannot recover before the next batch, while BBR
+// competitors (Dropbox) ramp into the gaps.
+type Mega struct {
+	ServiceName string
+	Factory     AlgFactory
+	// Flows is the batch width (5 in the deployed client).
+	Flows int
+	// ChunkBytes is the per-flow chunk size per batch.
+	ChunkBytes int64
+	// BatchPause is the client-side coordination delay between batches
+	// (hash verification + scheduling in the real client).
+	BatchPause sim.Time
+	// FreshConnections opens new transport connections for every batch
+	// (slow-start per batch) instead of reusing the five persistent
+	// connections with idle-restart bursts.
+	FreshConnections bool
+}
+
+// NewMega returns the Mega model with deployed-client parameters.
+func NewMega(f AlgFactory) *Mega {
+	return &Mega{
+		ServiceName: "Mega",
+		Factory:     f,
+		Flows:       5,
+		ChunkBytes:  1 << 20,
+		BatchPause:  350 * sim.Millisecond,
+	}
+}
+
+// Name implements Service.
+func (s *Mega) Name() string { return s.ServiceName }
+
+// Category implements Service.
+func (s *Mega) Category() Category { return CategoryFile }
+
+// MaxRateBps implements Service.
+func (s *Mega) MaxRateBps() int64 { return 0 }
+
+// FlowCount implements Service.
+func (s *Mega) FlowCount() int { return s.Flows }
+
+// Start implements Service.
+func (s *Mega) Start(env *Env) Instance {
+	inst := &megaInstance{env: env, svc: s}
+	inst.startBatch(env.Eng.Now())
+	return inst
+}
+
+type megaInstance struct {
+	env     *Env
+	svc     *Mega
+	flows   []*transport.Flow
+	stopped bool
+
+	remaining int // chunks outstanding in the current batch
+	stats     FileStats
+}
+
+// startBatch opens a fresh connection per chunk — the downloader issues
+// new parallel requests for every batch — and hands each its chunk. The
+// five congestion controllers therefore slow-start simultaneously at
+// every batch boundary, which is what makes Mega's traffic the most
+// violent in the catalog: a synchronized exponential burst into the
+// bottleneck queue every batch, repeated for the whole transfer.
+func (i *megaInstance) startBatch(now sim.Time) {
+	if i.stopped {
+		return
+	}
+	if i.svc.FreshConnections || len(i.flows) == 0 {
+		for _, f := range i.flows {
+			f.Close()
+		}
+		i.flows = i.flows[:0]
+		for n := 0; n < i.svc.Flows; n++ {
+			alg := i.svc.Factory(i.env.RNG.Split())
+			opts := flowOptions(alg)
+			opts.BurstOnIdleRestart = true
+			i.flows = append(i.flows,
+				transport.NewFlow(i.env.TB, i.env.Slot, alg, opts))
+		}
+	}
+	i.remaining = i.svc.Flows
+	for _, f := range i.flows {
+		f.Write(i.svc.ChunkBytes, i.chunkDone)
+	}
+}
+
+func (i *megaInstance) chunkDone(now sim.Time) {
+	i.stats.BytesCompleted += i.svc.ChunkBytes
+	i.stats.ChunksCompleted++
+	i.remaining--
+	if i.remaining > 0 || i.stopped {
+		return
+	}
+	// Whole batch finished: pause, then burst the next batch.
+	i.stats.Batches++
+	i.env.Eng.After(i.svc.BatchPause, i.startBatch)
+}
+
+func (i *megaInstance) Stop() {
+	i.stopped = true
+	for _, f := range i.flows {
+		f.Close()
+	}
+}
+
+func (i *megaInstance) Stats() Stats {
+	st := i.stats
+	return Stats{File: &st}
+}

@@ -1,0 +1,212 @@
+package services
+
+import (
+	"prudentia/internal/sim"
+	"prudentia/internal/transport"
+)
+
+// WebPage models the web-browsing workloads (§5.2): repeated fresh-cache
+// page loads against a contending service. Following the paper's
+// procedure, the contender starts first; after StartDelay the page is
+// loaded, then re-loaded repeatedly with LoadGap between loads, each time
+// through a fresh browser profile (new connections, empty cache). The
+// page-load time (PLT) metric is SpeedIndex-flavoured: the time until
+// 95 % of the above-the-fold bytes have arrived.
+type WebPage struct {
+	ServiceName string
+	Factory     AlgFactory
+	// TotalBytes is the full page weight; AboveFoldFrac the share of it
+	// visible without scrolling (text pages are lighter and mostly
+	// above-fold; image-heavy pages are heavier, per Obs 8).
+	TotalBytes    int64
+	AboveFoldFrac float64
+	// Flows is the number of concurrent connections the browser opens
+	// (Table 1: wikipedia >5, news.google >20, youtube.com >10).
+	Flows int
+	// Resources is the number of sub-resources beyond the root document.
+	Resources int
+	// StartDelay is how long after the contender the first load begins.
+	StartDelay sim.Time
+	// LoadGap separates consecutive loads.
+	LoadGap sim.Time
+}
+
+// NewWikipedia returns the wikipedia.org model: light, text-dominant.
+func NewWikipedia(f AlgFactory) *WebPage {
+	return &WebPage{
+		ServiceName:   "wikipedia.org",
+		Factory:       f,
+		TotalBytes:    600_000,
+		AboveFoldFrac: 0.7,
+		Flows:         5,
+		Resources:     12,
+		StartDelay:    30 * sim.Second,
+		LoadGap:       45 * sim.Second,
+	}
+}
+
+// NewGoogleNews returns the news.google.com model: text plus thumbnails.
+func NewGoogleNews(f AlgFactory) *WebPage {
+	return &WebPage{
+		ServiceName:   "news.google.com",
+		Factory:       f,
+		TotalBytes:    2_500_000,
+		AboveFoldFrac: 0.6,
+		Flows:         20,
+		Resources:     45,
+		StartDelay:    30 * sim.Second,
+		LoadGap:       45 * sim.Second,
+	}
+}
+
+// NewYouTubeWeb returns the youtube.com front-page model: image heavy
+// (thumbnails), served by a different stack than YouTube video (Table 1).
+func NewYouTubeWeb(f AlgFactory) *WebPage {
+	return &WebPage{
+		ServiceName:   "youtube.com",
+		Factory:       f,
+		TotalBytes:    4_500_000,
+		AboveFoldFrac: 0.6,
+		Flows:         10,
+		Resources:     35,
+		StartDelay:    30 * sim.Second,
+		LoadGap:       45 * sim.Second,
+	}
+}
+
+// Name implements Service.
+func (s *WebPage) Name() string { return s.ServiceName }
+
+// Category implements Service.
+func (s *WebPage) Category() Category { return CategoryWeb }
+
+// MaxRateBps implements Service: pages are not rate-capped.
+func (s *WebPage) MaxRateBps() int64 { return 0 }
+
+// FlowCount implements Service.
+func (s *WebPage) FlowCount() int { return s.Flows }
+
+// Start implements Service.
+func (s *WebPage) Start(env *Env) Instance {
+	inst := &webInstance{env: env, svc: s}
+	env.Eng.After(s.StartDelay, inst.startLoad)
+	return inst
+}
+
+type webInstance struct {
+	env     *Env
+	svc     *WebPage
+	stopped bool
+
+	flows []*transport.Flow
+	stats WebStats
+
+	// Per-load state.
+	loadStart    sim.Time
+	afTarget     int64 // 95% of above-the-fold bytes
+	afDelivered  int64
+	pltRecorded  bool
+	totalPending int
+}
+
+// resourceSizes deterministically draws the page's resource sizes so
+// that they sum to roughly TotalBytes. The first resources in document
+// order are above the fold.
+func (w *webInstance) resourceSizes() []int64 {
+	n := w.svc.Resources
+	sizes := make([]int64, n)
+	var sum int64
+	for i := range sizes {
+		// Mix of small (CSS/JS/text) and large (image) resources.
+		if w.env.RNG.Float64() < 0.4 {
+			sizes[i] = 5_000 + int64(w.env.RNG.Intn(40_000))
+		} else {
+			sizes[i] = 40_000 + int64(w.env.RNG.Intn(200_000))
+		}
+		sum += sizes[i]
+	}
+	// Scale to the target page weight.
+	for i := range sizes {
+		sizes[i] = sizes[i] * w.svc.TotalBytes / sum
+		if sizes[i] < 2_000 {
+			sizes[i] = 2_000
+		}
+	}
+	return sizes
+}
+
+// startLoad opens a fresh set of connections (cache and cookies wiped,
+// §3.3) and fetches the root document, then the sub-resources.
+func (w *webInstance) startLoad(now sim.Time) {
+	if w.stopped {
+		return
+	}
+	w.closeFlows()
+	w.flows = make([]*transport.Flow, w.svc.Flows)
+	for i := range w.flows {
+		alg := w.svc.Factory(w.env.RNG.Split())
+		w.flows[i] = transport.NewFlow(w.env.TB, w.env.Slot, alg, flowOptions(alg))
+	}
+	w.loadStart = now
+	w.pltRecorded = false
+	w.afDelivered = 0
+
+	sizes := w.resourceSizes()
+	afCount := int(float64(len(sizes)) * w.svc.AboveFoldFrac)
+	var afBytes int64
+	for i := 0; i < afCount; i++ {
+		afBytes += sizes[i]
+	}
+	w.afTarget = afBytes * 95 / 100
+	w.totalPending = len(sizes) + 1
+
+	const htmlBytes = 40_000
+	w.afTarget += htmlBytes // the document itself is above the fold
+	// Root document first; sub-resources fan out when it arrives.
+	w.flows[0].Write(htmlBytes, func(at sim.Time) {
+		w.resourceDone(at, htmlBytes, true)
+		if w.stopped {
+			return
+		}
+		for i, size := range sizes {
+			size := size
+			above := i < afCount
+			flow := w.flows[(i+1)%len(w.flows)]
+			flow.Write(size, func(at sim.Time) { w.resourceDone(at, size, above) })
+		}
+	})
+}
+
+func (w *webInstance) resourceDone(now sim.Time, size int64, aboveFold bool) {
+	if aboveFold {
+		w.afDelivered += size
+	}
+	if !w.pltRecorded && w.afDelivered >= w.afTarget {
+		w.pltRecorded = true
+		w.stats.PLTs = append(w.stats.PLTs, now-w.loadStart)
+	}
+	w.totalPending--
+	if w.totalPending == 0 {
+		w.stats.Loads++
+		if !w.stopped {
+			w.env.Eng.After(w.svc.LoadGap, w.startLoad)
+		}
+	}
+}
+
+func (w *webInstance) closeFlows() {
+	for _, f := range w.flows {
+		f.Close()
+	}
+	w.flows = nil
+}
+
+func (w *webInstance) Stop() {
+	w.stopped = true
+	w.closeFlows()
+}
+
+func (w *webInstance) Stats() Stats {
+	st := w.stats
+	return Stats{Web: &st}
+}

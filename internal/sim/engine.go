@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to run at a specific virtual time.
+type Event func(now Time)
+
+// scheduled is a heap entry. seq breaks ties so that events scheduled for
+// the same instant run in FIFO order, keeping the simulation deterministic.
+type scheduled struct {
+	at     Time
+	seq    uint64
+	fn     Event
+	cancel *Timer
+}
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	if h[i].cancel != nil {
+		h[i].cancel.idx = i
+	}
+	if h[j].cancel != nil {
+		h[j].cancel.idx = j
+	}
+}
+func (h *eventHeap) Push(x any) {
+	s := x.(*scheduled)
+	if s.cancel != nil {
+		s.cancel.idx = len(*h)
+	}
+	*h = append(*h, s)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// Timer is a handle for a cancellable scheduled event.
+type Timer struct {
+	idx     int // index in the heap, -1 when fired or stopped
+	engine  *Engine
+	stopped bool
+}
+
+// Stop cancels the timer if it has not fired yet. It reports whether the
+// timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.idx < 0 {
+		return false
+	}
+	t.stopped = true
+	heap.Remove(&t.engine.events, t.idx)
+	t.idx = -1
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool { return t != nil && !t.stopped && t.idx >= 0 }
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; a simulation is a deterministic sequential program.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Ran counts executed events, useful for budget checks in tests.
+	ran uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsRun reports the number of events executed so far.
+func (e *Engine) EventsRun() uint64 { return e.ran }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past
+// (before the current time) panics: it always indicates a logic bug in a
+// substrate, and silently reordering events would corrupt causality.
+func (e *Engine) Schedule(at Time, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &scheduled{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn after delay d (relative scheduling).
+func (e *Engine) After(d Time, fn Event) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// AfterTimer schedules fn after d and returns a cancellable handle.
+func (e *Engine) AfterTimer(d Time, fn Event) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	t := &Timer{engine: e}
+	heap.Push(&e.events, &scheduled{at: e.now + d, seq: e.seq, fn: fn, cancel: t})
+	return t
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	s := heap.Pop(&e.events).(*scheduled)
+	if s.cancel != nil {
+		s.cancel.idx = -1
+	}
+	e.now = s.at
+	e.ran++
+	s.fn(e.now)
+	return true
+}
+
+// RunUntil executes events until the clock would pass deadline or the
+// queue drains. The clock is left at min(deadline, last event time); events
+// scheduled after deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run drains the event queue completely. Most experiments should prefer
+// RunUntil with an explicit horizon; Run exists for self-terminating
+// workloads such as fixed-size file downloads in tests.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,6 @@
+package sim
+
+import "math"
+
+// negLog returns -ln(u) for u in (0, 1].
+func negLog(u float64) float64 { return -math.Log(u) }

@@ -1,0 +1,133 @@
+// Package trace exports per-experiment artifacts in the spirit of the
+// data the Prudentia website publishes for every experiment (§7):
+// bottleneck queue logs, packet drop logs, and per-service throughput
+// series, as CSV and JSON for offline analysis.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"prudentia/internal/metrics"
+	"prudentia/internal/netem"
+	"prudentia/internal/sim"
+)
+
+// DropEvent records one drop-tail loss at the bottleneck.
+type DropEvent struct {
+	At      sim.Time `json:"at_ns"`
+	Service int      `json:"service"`
+	FlowID  int      `json:"flow_id"`
+	Seq     int64    `json:"seq"`
+	Size    int      `json:"size"`
+}
+
+// Collector gathers artifacts from a bottleneck during one experiment.
+// Attach before the experiment starts.
+type Collector struct {
+	Drops []DropEvent
+}
+
+// Attach registers the collector's hooks on the bottleneck.
+func (c *Collector) Attach(b *netem.Bottleneck) {
+	b.DropHook = func(now sim.Time, p *netem.Packet) {
+		c.Drops = append(c.Drops, DropEvent{
+			At: now, Service: p.Service, FlowID: p.FlowID, Seq: p.Seq, Size: p.Size,
+		})
+	}
+}
+
+// WriteQueueCSV emits the queue occupancy series as CSV
+// (time_s,total,svc0,svc1) — the signal in Fig 8.
+func WriteQueueCSV(w io.Writer, samples []netem.OccupancySample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "total_pkts", "svc0_pkts", "svc1_pkts"}); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		rec := []string{
+			strconv.FormatFloat(s.At.Seconds(), 'f', 6, 64),
+			strconv.Itoa(s.Total),
+			strconv.Itoa(s.PerService[0]),
+			strconv.Itoa(s.PerService[1]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRateCSV emits a per-service throughput series as CSV
+// (time_s,svc0_mbps,svc1_mbps) — the signal in Fig 4.
+func WriteRateCSV(w io.Writer, points []metrics.RatePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "svc0_mbps", "svc1_mbps"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			strconv.FormatFloat(p.At.Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(p.Mbps[0], 'f', 4, 64),
+			strconv.FormatFloat(p.Mbps[1], 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDropsCSV emits the drop log as CSV.
+func WriteDropsCSV(w io.Writer, drops []DropEvent) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "service", "flow_id", "seq", "size"}); err != nil {
+		return err
+	}
+	for _, d := range drops {
+		rec := []string{
+			strconv.FormatFloat(d.At.Seconds(), 'f', 6, 64),
+			strconv.Itoa(d.Service),
+			strconv.Itoa(d.FlowID),
+			strconv.FormatInt(d.Seq, 10),
+			strconv.Itoa(d.Size),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits any artifact as indented JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Summary is the top-level per-experiment record published alongside the
+// raw logs.
+type Summary struct {
+	Incumbent  string  `json:"incumbent"`
+	Contender  string  `json:"contender"`
+	LinkMbps   float64 `json:"link_mbps"`
+	RTTMs      float64 `json:"rtt_ms"`
+	QueuePkts  int     `json:"queue_pkts"`
+	Trials     int     `json:"trials"`
+	SharePct   [2]float64
+	MedianMbps [2]float64
+}
+
+// FormatSummary renders a one-line human-readable summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s vs %s @%.0f Mbps: %.1f/%.1f Mbps (%.0f%%/%.0f%% of MmF), %d trials",
+		s.Incumbent, s.Contender, s.LinkMbps,
+		s.MedianMbps[0], s.MedianMbps[1], s.SharePct[0], s.SharePct[1], s.Trials)
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"prudentia/internal/metrics"
+	"prudentia/internal/netem"
+	"prudentia/internal/sim"
+)
+
+func TestCollectorRecordsDrops(t *testing.T) {
+	eng := sim.NewEngine()
+	b := netem.NewBottleneck(eng, 12_000_000, 2, 0)
+	b.Output = func(sim.Time, *netem.Packet) {}
+	var c Collector
+	c.Attach(b)
+	for i := 0; i < 6; i++ {
+		b.Enqueue(eng.Now(), &netem.Packet{Size: 1500, Seq: int64(i), Service: 1, FlowID: 3})
+	}
+	eng.Run()
+	// Capacity 2 + 1 in service: 3 drops.
+	if len(c.Drops) != 3 {
+		t.Fatalf("drops = %d, want 3", len(c.Drops))
+	}
+	d := c.Drops[0]
+	if d.Service != 1 || d.FlowID != 3 || d.Size != 1500 {
+		t.Fatalf("drop record = %+v", d)
+	}
+}
+
+func TestWriteQueueCSV(t *testing.T) {
+	var sb strings.Builder
+	samples := []netem.OccupancySample{
+		{At: sim.Second, Total: 5, PerService: [2]int{3, 2}},
+		{At: 2 * sim.Second, Total: 1, PerService: [2]int{1, 0}},
+	}
+	if err := WriteQueueCSV(&sb, samples); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "time_s,total_pkts,svc0_pkts,svc1_pkts" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1.000000,5,3,2" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteRateCSV(t *testing.T) {
+	var sb strings.Builder
+	pts := []metrics.RatePoint{{At: sim.Second, Mbps: [2]float64{12.5, 3.25}}}
+	if err := WriteRateCSV(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1.000000,12.5000,3.2500") {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestWriteDropsCSV(t *testing.T) {
+	var sb strings.Builder
+	drops := []DropEvent{{At: sim.Millisecond, Service: 1, FlowID: 2, Seq: 9, Size: 1500}}
+	if err := WriteDropsCSV(&sb, drops); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.001000,1,2,9,1500") {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+func TestWriteJSONAndSummary(t *testing.T) {
+	var sb strings.Builder
+	s := Summary{
+		Incumbent: "YouTube", Contender: "Mega", LinkMbps: 8,
+		MedianMbps: [2]float64{1.2, 6.5}, SharePct: [2]float64{30, 162}, Trials: 10,
+	}
+	if err := WriteJSON(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"incumbent": "YouTube"`) {
+		t.Fatalf("json = %q", sb.String())
+	}
+	str := s.String()
+	if !strings.Contains(str, "YouTube vs Mega @8 Mbps") || !strings.Contains(str, "10 trials") {
+		t.Fatalf("summary = %q", str)
+	}
+}
