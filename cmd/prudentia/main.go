@@ -4,34 +4,54 @@
 // utilization, loss, and queueing-delay heatmaps after every cycle —
 // the terminal analogue of internetfairness.net.
 //
+// The watchdog is crash-safe: with -checkpoint it flushes completed-pair
+// state to disk after every pair, SIGINT/SIGTERM stop it gracefully with
+// the checkpoint intact, and -resume picks the cycle back up, skipping
+// already-completed pairs while producing results identical to an
+// uninterrupted run. -chaos arms the deterministic fault-injection plan
+// (link flaps, bandwidth sags, client stalls, trial panics/errors,
+// result corruption) to exercise those defenses.
+//
 // Usage:
 //
 //	prudentia -cycles 1 -quick
 //	prudentia -cycles 0            # run forever (live watchdog mode)
+//	prudentia -checkpoint state.json            # crash-safe cycles
+//	prudentia -checkpoint state.json -resume    # continue after a kill
+//	prudentia -chaos -v                         # fault-injection run
 //	prudentia -submit https://my.service/page -code <access code>
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
+	"prudentia/internal/chaos"
 	"prudentia/internal/core"
 	"prudentia/internal/netem"
 	"prudentia/internal/report"
 	"prudentia/internal/services"
 	"prudentia/internal/stats"
+	"prudentia/internal/trace"
 )
 
 func main() {
 	var (
-		cycles  = flag.Int("cycles", 1, "number of full all-pairs cycles (0 = run forever)")
-		quick   = flag.Bool("quick", true, "compressed trials (60s, 3-9 per pair) instead of the paper protocol")
-		submit  = flag.String("submit", "", "submit a custom URL for testing (Appendix A)")
-		code    = flag.String("code", "", "access code for -submit")
-		setting = flag.String("setting", "both", "highly | moderately | both")
-		verbose = flag.Bool("v", false, "per-pair progress output")
+		cycles     = flag.Int("cycles", 1, "number of full all-pairs cycles (0 = run forever)")
+		quick      = flag.Bool("quick", true, "compressed trials (60s, 3-9 per pair) instead of the paper protocol")
+		submit     = flag.String("submit", "", "submit a custom URL for testing (Appendix A)")
+		code       = flag.String("code", "", "access code for -submit")
+		setting    = flag.String("setting", "both", "highly | moderately | both")
+		verbose    = flag.Bool("v", false, "per-pair progress output")
+		checkpoint = flag.String("checkpoint", "", "checkpoint file: flush cycle state after every pair")
+		resume     = flag.Bool("resume", false, "resume the interrupted cycle from -checkpoint")
+		chaosOn    = flag.Bool("chaos", false, "arm the deterministic fault-injection plan (all classes)")
 	)
 	flag.Parse()
 
@@ -45,10 +65,50 @@ func main() {
 	if *quick {
 		w.Opts = core.QuickOptions(w.Settings[0])
 	}
+	if *chaosOn {
+		plan := chaos.Default()
+		w.Opts.Chaos = &plan
+	}
 	if *verbose {
 		w.Progress = func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		}
+	}
+	ledger := &trace.FaultLedger{}
+	w.OnFault = ledger.Record
+
+	// Graceful shutdown: the first SIGINT/SIGTERM requests a stop at the
+	// next trial boundary (the checkpoint is flushed after every pair, so
+	// nothing completed is lost); a second signal kills immediately.
+	var stop atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		stop.Store(true)
+		fmt.Fprintln(os.Stderr, "prudentia: stopping at next trial boundary (signal again to kill)")
+		<-sigc
+		os.Exit(1)
+	}()
+	w.Interrupt = stop.Load
+
+	if *checkpoint != "" {
+		w.CheckpointPath = *checkpoint
+		if *resume {
+			found, err := w.LoadCheckpoint()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prudentia: %v\n", err)
+				os.Exit(1)
+			}
+			if found {
+				fmt.Printf("resuming interrupted cycle from %s\n", *checkpoint)
+			} else {
+				fmt.Printf("no checkpoint at %s; starting fresh\n", *checkpoint)
+			}
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "prudentia: -resume requires -checkpoint")
+		os.Exit(1)
 	}
 
 	if *submit != "" {
@@ -62,6 +122,14 @@ func main() {
 	for cycle := 1; *cycles == 0 || cycle <= *cycles; cycle++ {
 		fmt.Printf("=== cycle %d (catalog: %d services) ===\n", cycle, len(w.Services))
 		cr, err := w.RunCycle()
+		if errors.Is(err, core.ErrInterrupted) {
+			if *checkpoint != "" {
+				fmt.Printf("interrupted; cycle state saved to %s (resume with -resume)\n", *checkpoint)
+			} else {
+				fmt.Println("interrupted (no -checkpoint set; cycle state discarded)")
+			}
+			return
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "prudentia: cycle %d: %v\n", cycle, err)
 			os.Exit(1)
@@ -70,6 +138,9 @@ func main() {
 			cfg := w.Settings[si]
 			label := fmt.Sprintf("%.0f Mbps", float64(cfg.RateBps)/1e6)
 			printCycle(res, cr, si, cfg, label, w.Services)
+		}
+		if s := ledger.Summary(); s != "" {
+			fmt.Printf("fault ledger: %s\n\n", s)
 		}
 	}
 }
@@ -118,6 +189,9 @@ func printCycle(res *core.MatrixResult, cr *core.CycleResult, si int, cfg netem.
 	}
 	if len(unstable) > 0 {
 		fmt.Printf("instability watch (Obs 15): %v\n", unstable)
+	}
+	if failed := res.FailedPairs(); len(failed) > 0 {
+		fmt.Printf("quarantine watch: %v failed repeatedly and were excluded (××)\n", failed)
 	}
 	fmt.Println()
 }

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosDemoRuns smoke-tests every fault path: the demo must survive
+// panics, injected errors, corrupt results, flaps, sags, and stalls,
+// and still print a complete ledger.
+func TestChaosDemoRuns(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fault ledger:", "totals:", "checkpoint flushed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChaosDemoDeterministic verifies the full chaotic run — faults,
+// retries, ledger, heatmap — replays identically.
+func TestChaosDemoDeterministic(t *testing.T) {
+	runOnce := func() string {
+		var b strings.Builder
+		if err := run(&b); err != nil {
+			t.Fatal(err)
+		}
+		// The checkpoint path embeds the PID; strip the machine-varying
+		// final line before comparing.
+		out := b.String()
+		if i := strings.LastIndex(out, "checkpoint flushed"); i >= 0 {
+			out = out[:i]
+		}
+		return out
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("chaos run not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}

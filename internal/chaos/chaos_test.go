@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"prudentia/internal/netem"
+	"prudentia/internal/sim"
+)
+
+func TestNilAndZeroConfigsAreInert(t *testing.T) {
+	var c *Config
+	if c.Enabled() {
+		t.Fatal("nil config reports Enabled")
+	}
+	if got := c.TrialFault(7); got != FaultNone {
+		t.Fatalf("nil config TrialFault = %v", got)
+	}
+	// Arm on a nil config must be a no-op, not a panic.
+	eng := sim.NewEngine()
+	tb := netem.NewTestbed(eng, netem.HighlyConstrained(), sim.NewRNG(1))
+	c.Arm(eng, tb, sim.NewRNG(1))
+
+	z := &Config{}
+	if z.Enabled() {
+		t.Fatal("zero config reports Enabled")
+	}
+	if got := z.TrialFault(7); got != FaultNone {
+		t.Fatalf("zero config TrialFault = %v", got)
+	}
+	def := Default()
+	if !def.Enabled() {
+		t.Fatal("Default config must be enabled")
+	}
+}
+
+// TestTrialFaultDeterministicRates checks that fault decisions are pure
+// functions of the seed and that observed rates track the configured
+// probabilities (with the documented panic > error > corrupt priority).
+func TestTrialFaultDeterministicRates(t *testing.T) {
+	c := &Config{PanicRate: 0.10, ErrorRate: 0.10, CorruptRate: 0.10}
+	const n = 20000
+	counts := map[Fault]int{}
+	for seed := uint64(0); seed < n; seed++ {
+		f := c.TrialFault(seed)
+		if f != c.TrialFault(seed) {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+		counts[f]++
+	}
+	// Marginal rates under the priority chain: panic 0.10, error
+	// 0.10×0.90 = 0.09, corrupt 0.10×0.90×0.90 = 0.081. ±0.01 is ~5σ.
+	check := func(f Fault, want float64) {
+		got := float64(counts[f]) / n
+		if got < want-0.01 || got > want+0.01 {
+			t.Errorf("%v rate = %.4f, want ~%.3f", f, got, want)
+		}
+	}
+	check(FaultPanic, 0.10)
+	check(FaultError, 0.09)
+	check(FaultCorrupt, 0.081)
+}
+
+func TestCorruptionCoversAllKinds(t *testing.T) {
+	c := &Config{CorruptRate: 1}
+	seen := map[CorruptKind]bool{}
+	for seed := uint64(0); seed < 200; seed++ {
+		k := c.Corruption(seed)
+		if strings.HasPrefix(k.String(), "corrupt(") {
+			t.Fatalf("Corruption(%d) = %v out of range", seed, k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != int(numCorruptKinds) {
+		t.Fatalf("only %d of %d corruption kinds drawn", len(seen), numCorruptKinds)
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	want := map[Fault]string{
+		FaultNone: "none", FaultPanic: "panic", FaultError: "error", FaultCorrupt: "corrupt",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), s)
+		}
+	}
+	p := InjectedPanic{Seed: 9, At: sim.Second}
+	if !strings.Contains(p.String(), "injected panic") {
+		t.Errorf("InjectedPanic.String() = %q", p.String())
+	}
+}
+
+// TestArmFlapsBlackholeDeterministically drives a constant upstream
+// packet stream through a testbed with link flaps armed: drops must
+// occur, land on ChaosDrops (not the noise-discard counter), and replay
+// exactly under the same chaos stream seed.
+func TestArmFlapsBlackholeDeterministically(t *testing.T) {
+	run := func() int64 {
+		eng := sim.NewEngine()
+		cfg := netem.HighlyConstrained()
+		cfg.NoJitter = true
+		tb := netem.NewTestbed(eng, cfg, sim.NewRNG(1))
+		fid := tb.RegisterFlow(0, nil, nil)
+		c := &Config{FlapMeanGap: 2 * sim.Second, FlapMeanLen: 500 * sim.Millisecond}
+		c.Arm(eng, tb, sim.NewRNG(StreamSeed(9)))
+		var send sim.Event
+		send = func(now sim.Time) {
+			tb.SendData(now, &netem.Packet{FlowID: fid, Service: 0, Size: 1500})
+			if now < 30*sim.Second {
+				eng.After(5*sim.Millisecond, send)
+			}
+		}
+		eng.Schedule(0, send)
+		eng.RunUntil(31 * sim.Second)
+		if tb.ExternalDrops != 0 {
+			t.Fatalf("flap drops leaked into ExternalDrops: %d", tb.ExternalDrops)
+		}
+		return tb.ChaosDrops
+	}
+	a, b := run(), run()
+	if a == 0 {
+		t.Fatal("no packets blackholed by armed flaps")
+	}
+	if a != b {
+		t.Fatalf("flap process not deterministic: %d vs %d drops", a, b)
+	}
+}

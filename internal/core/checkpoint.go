@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint is the crash-safe serialization of an in-progress watchdog
+// cycle: everything completed so far, flushed to disk after every pair.
+// Because each pair's trial seeds are pure functions of
+// (BaseSeed, pair, attempt), a cycle resumed from a checkpoint replays
+// the remaining pairs exactly and produces a CycleResult identical to an
+// uninterrupted run.
+type Checkpoint struct {
+	// Cycle is the 1-based cycle number the state belongs to; it scopes
+	// the per-cycle seed offset, so resume must reuse it.
+	Cycle int `json:"cycle"`
+	// Calibration[si] holds setting si's completed solo-calibration map
+	// (nil while that setting's calibration is still in progress).
+	Calibration []map[string]float64 `json:"calibration"`
+	// Pairs[si] maps pairKey → completed outcome for setting si.
+	Pairs []map[string]*PairOutcome `json:"pairs"`
+}
+
+// newCheckpoint returns an empty checkpoint sized for nSettings.
+func newCheckpoint(cycle, nSettings int) *Checkpoint {
+	cp := &Checkpoint{
+		Cycle:       cycle,
+		Calibration: make([]map[string]float64, nSettings),
+		Pairs:       make([]map[string]*PairOutcome, nSettings),
+	}
+	for i := range cp.Pairs {
+		cp.Pairs[i] = make(map[string]*PairOutcome)
+	}
+	return cp
+}
+
+// SaveCheckpoint writes the checkpoint atomically (temp file + rename in
+// the destination directory), so a crash mid-write never truncates the
+// previous good checkpoint.
+func SaveCheckpoint(path string, cp *Checkpoint) error {
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".prudentia-ckpt-*")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cp := &Checkpoint{}
+	if err := json.Unmarshal(data, cp); err != nil {
+		return nil, fmt.Errorf("core: parse checkpoint %s: %w", path, err)
+	}
+	if cp.Cycle <= 0 {
+		return nil, fmt.Errorf("core: checkpoint %s has invalid cycle %d", path, cp.Cycle)
+	}
+	return cp, nil
+}

@@ -8,8 +8,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"prudentia/internal/browser"
+	"prudentia/internal/chaos"
 	"prudentia/internal/metrics"
 	"prudentia/internal/netem"
 	"prudentia/internal/services"
@@ -40,6 +42,10 @@ type Spec struct {
 	SampleQueueEvery sim.Time
 	// SampleRateEvery enables per-service throughput series (Fig 4).
 	SampleRateEvery sim.Time
+	// Chaos, if non-nil, arms the deterministic fault plan for this
+	// trial: in-simulation faults on the testbed plus seed-decided
+	// trial-level panics/errors/corruption.
+	Chaos *chaos.Config
 }
 
 // DefaultTiming applies the paper's trial timing: 10 minutes total,
@@ -106,14 +112,32 @@ func (s Spec) Validate() error {
 }
 
 // RunTrial executes one experiment and reports its results. The entire
-// run is deterministic in (Spec, Seed).
+// run is deterministic in (Spec, Seed) — including any chaos faults,
+// which are decided by hashing the seed. Injected panics propagate to
+// the caller; the scheduler runs trials through runTrialSafe to convert
+// them into recorded failures.
 func RunTrial(spec Spec) (TrialResult, error) {
 	if err := spec.Validate(); err != nil {
 		return TrialResult{}, err
 	}
+	fault := spec.Chaos.TrialFault(spec.Seed)
+	if fault == chaos.FaultError {
+		return TrialResult{}, &TrialError{Kind: "error", Seed: spec.Seed, Msg: "chaos: injected trial error"}
+	}
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(spec.Seed)
 	tb := netem.NewTestbed(eng, spec.Net, rng.Split())
+	if spec.Chaos != nil {
+		// A dedicated RNG keeps the base experiment's streams untouched.
+		crng := sim.NewRNG(chaos.StreamSeed(spec.Seed))
+		if fault == chaos.FaultPanic {
+			at := crng.Duration(spec.Duration)
+			eng.Schedule(at, func(now sim.Time) {
+				panic(chaos.InjectedPanic{Seed: spec.Seed, At: now})
+			})
+		}
+		spec.Chaos.Arm(eng, tb, crng)
+	}
 
 	client := browser.TestbedClient()
 	if spec.Client != nil {
@@ -199,7 +223,71 @@ func RunTrial(spec Spec) (TrialResult, error) {
 	if sampler != nil {
 		res.RateSeries = sampler.Points
 	}
+	if fault == chaos.FaultCorrupt {
+		applyCorruption(&res, spec.Chaos.Corruption(spec.Seed))
+	}
 	return res, nil
+}
+
+// applyCorruption mangles a result the way a wedged measurement pipeline
+// would (garbage counters, sign errors, unit mix-ups). The validity gate
+// must catch every kind.
+func applyCorruption(res *TrialResult, kind chaos.CorruptKind) {
+	switch kind {
+	case chaos.CorruptNaNThroughput:
+		res.Mbps[0] = math.NaN()
+	case chaos.CorruptNegativeThroughput:
+		res.Mbps[1] = -res.Mbps[1] - 1
+	case chaos.CorruptUtilization:
+		res.Utilization = 4.2
+	case chaos.CorruptShare:
+		res.SharePct[0] = res.SharePct[0]*50 + 1000
+	}
+}
+
+// Validate is the corrupt-result gate: it rejects metrics no honest
+// trial can produce (NaN/negative throughput, loss outside [0,1],
+// utilization above the link's capability, shares inconsistent with the
+// measured throughput). Rejected results are re-run like
+// noise-discarded ones rather than polluting the pair's statistics.
+func (r TrialResult) Validate() error {
+	for slot := 0; slot < 2; slot++ {
+		m := r.Mbps[slot]
+		if math.IsNaN(m) || math.IsInf(m, 0) || m < 0 {
+			return fmt.Errorf("core: slot %d throughput %v out of range", slot, m)
+		}
+		if l := r.Loss[slot]; math.IsNaN(l) || l < 0 || l > 1 {
+			return fmt.Errorf("core: slot %d loss %v out of range", slot, l)
+		}
+		if r.QueueDelay[slot] < 0 {
+			return fmt.Errorf("core: slot %d queue delay %v negative", slot, r.QueueDelay[slot])
+		}
+		if fair := r.FairShareMbps[slot]; fair > 0 {
+			want := 100 * r.Mbps[slot] / fair
+			if diff := r.SharePct[slot] - want; diff > 1+0.05*want || diff < -(1+0.05*want) {
+				return fmt.Errorf("core: slot %d share %.1f%% inconsistent with %.2f Mbps of %.2f fair",
+					slot, r.SharePct[slot], r.Mbps[slot], fair)
+			}
+		}
+	}
+	if u := r.Utilization; math.IsNaN(u) || u < 0 || u > 1.05 {
+		return fmt.Errorf("core: utilization %v out of range", u)
+	}
+	return nil
+}
+
+// runTrialSafe runs a trial with a panic barrier: a panicking trial —
+// injected by chaos or a genuine simulator bug — becomes a typed
+// *TrialError instead of killing the cycle. This is the watchdog's
+// first line of defense; a service that must run unattended for years
+// cannot afford to lose a multi-hour cycle to one bad trial.
+func runTrialSafe(spec Spec) (res TrialResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &TrialError{Kind: "panic", Seed: spec.Seed, Msg: fmt.Sprint(r)}
+		}
+	}()
+	return RunTrial(spec)
 }
 
 // RunSolo measures a service alone (the calibration runs Prudentia uses

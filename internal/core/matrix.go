@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"prudentia/internal/netem"
 	"prudentia/internal/services"
@@ -14,10 +15,35 @@ import (
 // issues") and pairs whose throughput CI stays too wide are re-queued in
 // sets of Step trials up to MaxTrials, exactly the live system's
 // behaviour.
+//
+// The scheduler is crash-safe: a panicking or erroring trial becomes a
+// recorded failure, failed attempts retry with fresh seeds under capped
+// exponential backoff, pairs that keep failing are quarantined
+// (Failed), and corrupt results are discarded by the validity gate. No
+// trial fault ever propagates out of Run; the only error Run returns is
+// ErrInterrupted when the Interrupt hook requests a graceful stop.
 type Matrix struct {
 	Services []services.Service
 	Net      netem.Config
 	Opts     SchedulerOptions
+
+	// Completed maps pairKey → outcomes restored from a checkpoint;
+	// those pairs are adopted verbatim and not re-run, which — because
+	// every trial seed is a pure function of (BaseSeed, pair, attempt) —
+	// makes a resumed matrix identical to an uninterrupted one.
+	Completed map[string]*PairOutcome
+
+	// Interrupt, if non-nil, is polled between trials; returning true
+	// stops the matrix with ErrInterrupted after the current trial.
+	Interrupt func() bool
+
+	// OnPair, if non-nil, is invoked each time a pair reaches a final
+	// state (the checkpoint flush hook).
+	OnPair func(key string, out *PairOutcome)
+
+	// OnFault, if non-nil, receives the live robustness ledger:
+	// failures, retries, discards, corrupt results, quarantines.
+	OnFault func(ev FaultEvent)
 
 	// Progress, if non-nil, receives a line per completed pair.
 	Progress func(format string, args ...any)
@@ -25,13 +51,16 @@ type Matrix struct {
 
 // pairState tracks one unordered pair through the round-robin scheduler.
 type pairState struct {
-	a, b    int // indices into Services (a <= b)
-	outcome *PairOutcome
-	target  int // trials to run before the next CI evaluation
-	done    bool
-	seed    uint64
-	svcA    services.Service
-	svcB    services.Service
+	a, b     int // indices into Services (a <= b)
+	key      string
+	seedID   uint64
+	outcome  *PairOutcome
+	target   int // trials to run before the next CI evaluation
+	attempt  int // every attempt: counted, discarded, corrupt, or failed
+	cooldown int // scheduler rounds to sit out (retry backoff)
+	done     bool
+	svcA     services.Service
+	svcB     services.Service
 }
 
 // MatrixResult holds every pair outcome plus name indexing.
@@ -56,19 +85,25 @@ func (m *Matrix) Run() (*MatrixResult, error) {
 	for i := range m.Services {
 		res.Names = append(res.Names, m.Services[i].Name())
 		for j := i; j < len(m.Services); j++ {
+			key := pairKey(i, j)
+			if done, ok := m.Completed[key]; ok && done != nil {
+				res.Pairs[key] = done
+				continue
+			}
 			st := &pairState{
 				a: i, b: j,
+				key:    key,
+				seedID: pairSeedID(i, j),
 				svcA:   m.Services[i],
 				svcB:   m.Services[j],
 				target: opts.MinTrials,
-				seed:   opts.BaseSeed + uint64(i*1000+j)*101,
 				outcome: &PairOutcome{
 					Incumbent: m.Services[i].Name(),
 					Contender: m.Services[j].Name(),
 				},
 			}
 			states = append(states, st)
-			res.Pairs[pairKey(i, j)] = st.outcome
+			res.Pairs[key] = st.outcome
 		}
 	}
 
@@ -80,10 +115,18 @@ func (m *Matrix) Run() (*MatrixResult, error) {
 				continue
 			}
 			pending = true
-			if err := m.runOne(st, opts); err != nil {
-				return nil, err
+			if m.Interrupt != nil && m.Interrupt() {
+				return res, ErrInterrupted
 			}
+			if st.cooldown > 0 {
+				st.cooldown--
+				continue
+			}
+			m.runOne(st, opts)
 			m.evaluate(st, opts)
+			if st.done {
+				m.finish(st)
+			}
 		}
 		if !pending {
 			break
@@ -92,42 +135,91 @@ func (m *Matrix) Run() (*MatrixResult, error) {
 	return res, nil
 }
 
-// runOne executes a single counted trial for the pair (retrying
-// noise-discarded trials immediately).
-func (m *Matrix) runOne(st *pairState, opts SchedulerOptions) error {
+// fault emits a ledger event if a listener is attached.
+func (m *Matrix) fault(ev FaultEvent) {
+	if m.OnFault != nil {
+		m.OnFault(ev)
+	}
+}
+
+// pairLabel names a pair for ledger events and progress lines.
+func (st *pairState) pairLabel() string {
+	return st.outcome.Incumbent + " vs " + st.outcome.Contender
+}
+
+// runOne executes a single counted trial for the pair, retrying
+// noise-discarded and validity-gate-rejected trials immediately (each
+// with a fresh seed). A failing attempt — injected error or recovered
+// panic — records a TrialFailure and returns so the pair backs off
+// while the rest of the matrix keeps interleaving; MaxFailures
+// quarantines the pair.
+func (m *Matrix) runOne(st *pairState, opts SchedulerOptions) {
 	for {
+		seed := trialSeed(opts.BaseSeed, st.seedID, st.attempt)
+		attempt := st.attempt
+		st.attempt++
 		spec := Spec{
 			Incumbent: st.svcA,
 			Contender: st.svcB,
 			Net:       m.Net,
-			Seed:      st.seed,
+			Seed:      seed,
+			Chaos:     opts.Chaos,
 		}
-		st.seed++
 		if opts.Timing != nil {
 			spec = opts.Timing(spec)
 		} else {
 			spec = spec.DefaultTiming()
 		}
-		res, err := RunTrial(spec)
+		res, err := runTrialSafe(spec)
 		if err != nil {
-			return err
+			te := asTrialError(err, seed)
+			st.outcome.Failures = append(st.outcome.Failures,
+				TrialFailure{Attempt: attempt, Seed: seed, Kind: te.Kind, Msg: te.Msg})
+			m.fault(FaultEvent{Pair: st.pairLabel(), Kind: te.Kind, Attempt: attempt, Seed: seed, Detail: te.Msg})
+			if len(st.outcome.Failures) >= opts.MaxFailures {
+				st.outcome.Failed = true
+				st.done = true
+				m.fault(FaultEvent{Pair: st.pairLabel(), Kind: "quarantine", Attempt: attempt, Seed: seed,
+					Detail: fmt.Sprintf("%d failures", len(st.outcome.Failures))})
+			} else {
+				st.outcome.Retries++
+				st.cooldown = backoffRounds(len(st.outcome.Failures))
+				m.fault(FaultEvent{Pair: st.pairLabel(), Kind: "retry", Attempt: attempt, Seed: seed,
+					Detail: fmt.Sprintf("backoff %d rounds", st.cooldown)})
+			}
+			return
 		}
 		if res.Discarded {
 			st.outcome.Discards++
-			if st.outcome.Discards > opts.MaxDiscards {
+			m.fault(FaultEvent{Pair: st.pairLabel(), Kind: "discard", Attempt: attempt, Seed: seed,
+				Detail: fmt.Sprintf("external loss %.4f%%", 100*res.ExternalLossRate)})
+			if st.outcome.Discards+st.outcome.Corrupt > opts.MaxDiscards {
 				st.outcome.Unstable = true
 				st.done = true
-				return nil
+				return
+			}
+			continue
+		}
+		if verr := res.Validate(); verr != nil {
+			st.outcome.Corrupt++
+			m.fault(FaultEvent{Pair: st.pairLabel(), Kind: "corrupt", Attempt: attempt, Seed: seed, Detail: verr.Error()})
+			if st.outcome.Discards+st.outcome.Corrupt > opts.MaxDiscards {
+				st.outcome.Unstable = true
+				st.done = true
+				return
 			}
 			continue
 		}
 		st.outcome.Trials = append(st.outcome.Trials, res)
-		return nil
+		return
 	}
 }
 
 // evaluate applies the stopping rule at batch boundaries.
 func (m *Matrix) evaluate(st *pairState, opts SchedulerOptions) {
+	if st.done {
+		return
+	}
 	n := len(st.outcome.Trials)
 	if n < st.target {
 		return
@@ -143,12 +235,26 @@ func (m *Matrix) evaluate(st *pairState, opts SchedulerOptions) {
 		st.outcome.Unstable = true
 		st.done = true
 	}
-	if st.done && m.Progress != nil {
-		m.Progress("pair %s vs %s: %d trials, share %.0f%%/%.0f%%, unstable=%v",
-			st.outcome.Incumbent, st.outcome.Contender, n,
-			st.outcome.MedianSharePct(0), st.outcome.MedianSharePct(1),
-			st.outcome.Unstable)
+}
+
+// finish reports a pair that reached a final state and flushes it to
+// the checkpoint hook.
+func (m *Matrix) finish(st *pairState) {
+	if m.OnPair != nil {
+		m.OnPair(st.key, st.outcome)
 	}
+	if m.Progress == nil {
+		return
+	}
+	o := st.outcome
+	if o.Failed {
+		m.Progress("pair %s: QUARANTINED after %d failed attempts (%d retries)",
+			st.pairLabel(), len(o.Failures), o.Retries)
+		return
+	}
+	m.Progress("pair %s: %d trials, share %.0f%%/%.0f%%, unstable=%v",
+		st.pairLabel(), len(o.Trials),
+		o.MedianSharePct(0), o.MedianSharePct(1), o.Unstable)
 }
 
 // indexOf resolves a service name in the result.
@@ -177,10 +283,17 @@ func (r *MatrixResult) Cell(incumbent, contender string) (p *PairOutcome, slot i
 }
 
 // SharePct returns the Fig 2 heatmap value: the median MmF share
-// percentage the incumbent obtained against the contender.
+// percentage the incumbent obtained against the contender. Quarantined
+// pairs return NaN (rendered as ×× by the report layer).
 func (r *MatrixResult) SharePct(incumbent, contender string) (float64, bool) {
 	p, slot, ok := r.Cell(incumbent, contender)
-	if !ok || len(p.Trials) == 0 {
+	if !ok {
+		return 0, false
+	}
+	if p.Failed {
+		return math.NaN(), true
+	}
+	if len(p.Trials) == 0 {
 		return 0, false
 	}
 	return p.MedianSharePct(slot), true
@@ -189,7 +302,13 @@ func (r *MatrixResult) SharePct(incumbent, contender string) (float64, bool) {
 // Utilization returns the Fig 11 value for a pair (symmetric).
 func (r *MatrixResult) Utilization(a, b string) (float64, bool) {
 	p, _, ok := r.Cell(a, b)
-	if !ok || len(p.Trials) == 0 {
+	if !ok {
+		return 0, false
+	}
+	if p.Failed {
+		return math.NaN(), true
+	}
+	if len(p.Trials) == 0 {
 		return 0, false
 	}
 	return p.MedianUtilization(), true
@@ -198,7 +317,13 @@ func (r *MatrixResult) Utilization(a, b string) (float64, bool) {
 // LossRate returns the Fig 12 value: incumbent's loss vs contender.
 func (r *MatrixResult) LossRate(incumbent, contender string) (float64, bool) {
 	p, slot, ok := r.Cell(incumbent, contender)
-	if !ok || len(p.Trials) == 0 {
+	if !ok {
+		return 0, false
+	}
+	if p.Failed {
+		return math.NaN(), true
+	}
+	if len(p.Trials) == 0 {
 		return 0, false
 	}
 	return p.MedianLoss(slot), true
@@ -207,10 +332,29 @@ func (r *MatrixResult) LossRate(incumbent, contender string) (float64, bool) {
 // QueueDelayMs returns the Fig 13 value in milliseconds.
 func (r *MatrixResult) QueueDelayMs(incumbent, contender string) (float64, bool) {
 	p, slot, ok := r.Cell(incumbent, contender)
-	if !ok || len(p.Trials) == 0 {
+	if !ok {
+		return 0, false
+	}
+	if p.Failed {
+		return math.NaN(), true
+	}
+	if len(p.Trials) == 0 {
 		return 0, false
 	}
 	return p.MedianQueueDelay(slot).Seconds() * 1000, true
+}
+
+// FailedPairs lists quarantined pairs as "incumbent vs contender".
+func (r *MatrixResult) FailedPairs() []string {
+	var out []string
+	for i := range r.Names {
+		for j := i; j < len(r.Names); j++ {
+			if p := r.Pairs[pairKey(i, j)]; p != nil && p.Failed {
+				out = append(out, p.Incumbent+" vs "+p.Contender)
+			}
+		}
+	}
+	return out
 }
 
 // LosingShares lists, for every ordered pair (incumbent, contender) with
@@ -221,7 +365,7 @@ func (r *MatrixResult) LosingShares() []float64 {
 	for i, a := range r.Names {
 		for j := i + 1; j < len(r.Names); j++ {
 			p := r.Pairs[pairKey(i, j)]
-			if p == nil || len(p.Trials) == 0 {
+			if p == nil || p.Failed || len(p.Trials) == 0 {
 				continue
 			}
 			s0, s1 := p.MedianSharePct(0), p.MedianSharePct(1)
@@ -242,7 +386,7 @@ func (r *MatrixResult) SelfShares() []float64 {
 	var out []float64
 	for i := range r.Names {
 		p := r.Pairs[pairKey(i, i)]
-		if p == nil || len(p.Trials) == 0 {
+		if p == nil || p.Failed || len(p.Trials) == 0 {
 			continue
 		}
 		out = append(out, p.MedianSharePct(0), p.MedianSharePct(1))

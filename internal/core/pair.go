@@ -1,6 +1,7 @@
 package core
 
 import (
+	"prudentia/internal/chaos"
 	"prudentia/internal/netem"
 	"prudentia/internal/services"
 	"prudentia/internal/sim"
@@ -21,8 +22,26 @@ type SchedulerOptions struct {
 	// Timing transforms each trial's Spec (DefaultTiming, QuickTiming,
 	// or custom); nil means DefaultTiming.
 	Timing func(Spec) Spec
-	// MaxDiscards bounds re-runs of noise-discarded trials.
+	// MaxDiscards bounds re-runs of noise-discarded (and validity-gate
+	// rejected) trials before a pair is marked Unstable.
 	MaxDiscards int
+	// MaxFailures bounds erroring/panicking attempts before a pair is
+	// quarantined (marked Failed); default 3. Failed attempts retry with
+	// fresh seeds under capped exponential backoff in scheduler rounds.
+	MaxFailures int
+	// Chaos, if non-nil, arms the deterministic fault plan on every
+	// trial the scheduler runs.
+	Chaos *chaos.Config
+}
+
+// IsZero reports whether no field was set. Watchdog.RunCycle applies
+// the per-setting PaperOptions only in that case — a caller who sets
+// any field (for example only Timing) keeps their options, with the
+// remaining fields defaulted.
+func (o SchedulerOptions) IsZero() bool {
+	return o.MinTrials == 0 && o.MaxTrials == 0 && o.Step == 0 &&
+		o.ToleranceMbps == 0 && o.BaseSeed == 0 && o.Timing == nil &&
+		o.MaxDiscards == 0 && o.MaxFailures == 0 && o.Chaos == nil
 }
 
 // PaperOptions returns the per-setting options the paper uses.
@@ -35,6 +54,7 @@ func PaperOptions(net netem.Config) SchedulerOptions {
 		MinTrials: 10, MaxTrials: 30, Step: 10,
 		ToleranceMbps: tol,
 		MaxDiscards:   10,
+		MaxFailures:   3,
 	}
 }
 
@@ -64,7 +84,26 @@ func (o SchedulerOptions) withDefaults() SchedulerOptions {
 	if o.MaxDiscards == 0 {
 		o.MaxDiscards = 10
 	}
+	if o.MaxFailures == 0 {
+		o.MaxFailures = 3
+	}
 	return o
+}
+
+// maxBackoffRounds caps the exponential retry backoff (in scheduler
+// rounds, i.e. virtual attempts the pair sits out).
+const maxBackoffRounds = 8
+
+// backoffRounds returns the capped exponential backoff after the n-th
+// failure (1-based): 1, 2, 4, 8, 8, ...
+func backoffRounds(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n > 4 {
+		return maxBackoffRounds
+	}
+	return 1 << (n - 1)
 }
 
 // PairOutcome aggregates all counted trials of one service pair. One
@@ -75,9 +114,20 @@ type PairOutcome struct {
 	Trials               []TrialResult
 	// Discards counts noise-discarded (re-run) trials.
 	Discards int
+	// Corrupt counts trials the validity gate rejected (re-run like
+	// discards; Discards+Corrupt share the MaxDiscards budget).
+	Corrupt int
 	// Unstable marks pairs that exhausted MaxTrials without meeting the
 	// CI criterion — the paper's Obs 15 services (OneDrive, Vimeo).
 	Unstable bool
+	// Failed marks quarantined pairs: MaxFailures attempts errored or
+	// panicked, so the pair is excluded from this cycle's statistics
+	// and its heatmap cells render as ××.
+	Failed bool
+	// Retries counts failed attempts that were retried with fresh seeds.
+	Retries int
+	// Failures records every failed attempt for the artifact ledger.
+	Failures []TrialFailure
 }
 
 // mbps returns the per-trial throughput series for one slot.
@@ -149,30 +199,50 @@ func (p *PairOutcome) ciSatisfied(tol float64) bool {
 }
 
 // RunPair runs the full protocol for one pair in one network setting.
+// Trial errors and panics never propagate: they are recorded on the
+// outcome, retried with fresh seeds, and quarantine the pair (Failed)
+// after MaxFailures. The only returned errors are structural
+// (impossible specs).
 func RunPair(incumbent, contender services.Service, net netem.Config, opts SchedulerOptions) (*PairOutcome, error) {
 	opts = opts.withDefaults()
 	p := &PairOutcome{Incumbent: incumbent.Name()}
 	if contender != nil {
 		p.Contender = contender.Name()
 	}
-	seed := opts.BaseSeed
+	attempt := 0
 	for len(p.Trials) < opts.MaxTrials {
-		spec := Spec{Incumbent: incumbent, Contender: contender, Net: net, Seed: seed}
-		seed++
+		seed := trialSeed(opts.BaseSeed, pairSeedID(0, 1), attempt)
+		spec := Spec{Incumbent: incumbent, Contender: contender, Net: net, Seed: seed, Chaos: opts.Chaos}
 		if opts.Timing != nil {
 			spec = opts.Timing(spec)
 		} else {
 			spec = spec.DefaultTiming()
 		}
-		res, err := RunTrial(spec)
+		res, err := runTrialSafe(spec)
+		attempt++
 		if err != nil {
-			return nil, err
+			te := asTrialError(err, seed)
+			p.Failures = append(p.Failures, TrialFailure{Attempt: attempt - 1, Seed: seed, Kind: te.Kind, Msg: te.Msg})
+			if len(p.Failures) >= opts.MaxFailures {
+				p.Failed = true
+				return p, nil
+			}
+			p.Retries++
+			continue
 		}
 		if res.Discarded {
 			p.Discards++
-			if p.Discards > opts.MaxDiscards {
+			if p.Discards+p.Corrupt > opts.MaxDiscards {
 				p.Unstable = true
-				break
+				return p, nil
+			}
+			continue
+		}
+		if verr := res.Validate(); verr != nil {
+			p.Corrupt++
+			if p.Discards+p.Corrupt > opts.MaxDiscards {
+				p.Unstable = true
+				return p, nil
 			}
 			continue
 		}

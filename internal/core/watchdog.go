@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	"prudentia/internal/netem"
@@ -21,16 +22,31 @@ type Watchdog struct {
 	// Settings are the network environments to cycle through; defaults
 	// to the paper's two standing settings.
 	Settings []netem.Config
-	// Opts configures the per-pair protocol (PaperOptions applied
-	// per-setting when zero-valued).
+	// Opts configures the per-pair protocol. The per-setting
+	// PaperOptions apply only when Opts.IsZero(); a caller who sets any
+	// field (for example only Timing) keeps their options.
 	Opts SchedulerOptions
 	// AccessCodes gate third-party submissions.
 	AccessCodes []string
 	// Progress, if non-nil, receives human-readable progress lines.
 	Progress func(format string, args ...any)
 
+	// CheckpointPath, when set, makes RunCycle flush a Checkpoint to
+	// this file after every completed pair (and calibration), and
+	// remove it when the cycle completes. A checkpoint-save failure is
+	// reported via Progress but never aborts the cycle.
+	CheckpointPath string
+	// Interrupt, if non-nil, is polled between trials; returning true
+	// stops RunCycle gracefully with ErrInterrupted after flushing the
+	// checkpoint.
+	Interrupt func() bool
+	// OnFault, if non-nil, receives the live robustness ledger from all
+	// matrices and calibrations.
+	OnFault func(ev FaultEvent)
+
 	cycles      []*CycleResult
 	submissions []Submission
+	resume      *Checkpoint
 }
 
 // CycleResult is one complete iteration over all pairs in all settings.
@@ -113,38 +129,158 @@ func customURLService(url string) services.Service {
 	return page
 }
 
+// Resume stages a checkpoint: the next RunCycle adopts its completed
+// pairs and calibrations instead of re-running them.
+func (w *Watchdog) Resume(cp *Checkpoint) { w.resume = cp }
+
+// LoadCheckpoint stages the checkpoint at CheckpointPath if one exists.
+// It reports whether a checkpoint was found; a missing file is not an
+// error (the watchdog simply starts fresh).
+func (w *Watchdog) LoadCheckpoint() (bool, error) {
+	if w.CheckpointPath == "" {
+		return false, nil
+	}
+	cp, err := LoadCheckpoint(w.CheckpointPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	w.resume = cp
+	return true, nil
+}
+
+// interrupted polls the graceful-stop hook.
+func (w *Watchdog) interrupted() bool { return w.Interrupt != nil && w.Interrupt() }
+
+// flush persists the live checkpoint. Failures are reported, never
+// fatal: a watchdog with a broken disk should keep measuring.
+func (w *Watchdog) flush(cp *Checkpoint) {
+	if w.CheckpointPath == "" {
+		return
+	}
+	if err := SaveCheckpoint(w.CheckpointPath, cp); err != nil && w.Progress != nil {
+		w.Progress("checkpoint save failed: %v", err)
+	}
+}
+
 // RunCycle executes one full iteration and appends it to the history.
+// It is crash-safe end to end: trial panics and errors are quarantined
+// per pair, completed state is checkpointed after every pair when
+// CheckpointPath is set, and an Interrupt request returns
+// ErrInterrupted with the checkpoint flushed. A cycle resumed from a
+// checkpoint (see Resume/LoadCheckpoint) produces a CycleResult
+// identical to an uninterrupted run.
 func (w *Watchdog) RunCycle() (*CycleResult, error) {
 	cr := &CycleResult{Cycle: len(w.cycles) + 1}
+	cp := w.resume
+	w.resume = nil
+	if cp != nil {
+		cr.Cycle = cp.Cycle
+	}
+	live := newCheckpoint(cr.Cycle, len(w.Settings))
 	for si, net := range w.Settings {
 		opts := w.Opts
-		if opts.MinTrials == 0 && opts.ToleranceMbps == 0 {
+		if opts.IsZero() {
 			opts = PaperOptions(net)
 		}
+		opts = opts.withDefaults()
 		// Seed-scope each cycle and setting so re-runs differ but stay
 		// reproducible.
 		opts.BaseSeed += uint64(cr.Cycle)*1_000_003 + uint64(si)*7_919
 
 		// Solo calibration first (§3.1): detect upstream throttling.
-		cal := make(map[string]float64, len(w.Services))
-		for i, svc := range w.Services {
-			tr, err := RunSolo(svc, net, opts.BaseSeed+uint64(i)*13, opts.Timing)
-			if err != nil {
-				return nil, err
+		var cal map[string]float64
+		if cp != nil && si < len(cp.Calibration) && cp.Calibration[si] != nil {
+			cal = cp.Calibration[si]
+		} else {
+			cal = make(map[string]float64, len(w.Services))
+			for i, svc := range w.Services {
+				if w.interrupted() {
+					w.flush(live)
+					return nil, ErrInterrupted
+				}
+				if mbps, ok := w.calibrate(svc, net, opts, i); ok {
+					cal[svc.Name()] = mbps
+				}
 			}
-			cal[svc.Name()] = tr.Mbps[0]
 		}
+		live.Calibration[si] = cal
+		w.flush(live)
 		cr.Calibration = append(cr.Calibration, cal)
 
-		m := &Matrix{Services: w.Services, Net: net, Opts: opts, Progress: w.Progress}
+		var completed map[string]*PairOutcome
+		if cp != nil && si < len(cp.Pairs) && len(cp.Pairs[si]) > 0 {
+			completed = cp.Pairs[si]
+			// Carry restored pairs into the live checkpoint so a second
+			// interruption still has them.
+			for k, p := range completed {
+				live.Pairs[si][k] = p
+			}
+		}
+		si := si
+		m := &Matrix{
+			Services:  w.Services,
+			Net:       net,
+			Opts:      opts,
+			Progress:  w.Progress,
+			OnFault:   w.OnFault,
+			Interrupt: w.Interrupt,
+			Completed: completed,
+			OnPair: func(key string, out *PairOutcome) {
+				live.Pairs[si][key] = out
+				w.flush(live)
+			},
+		}
 		res, err := m.Run()
 		if err != nil {
+			w.flush(live)
 			return nil, err
 		}
 		cr.PerSetting = append(cr.PerSetting, res)
 	}
+	if w.CheckpointPath != "" {
+		os.Remove(w.CheckpointPath)
+	}
 	w.cycles = append(w.cycles, cr)
 	return cr, nil
+}
+
+// calibrate measures one service solo with the same defenses the matrix
+// applies: recovered panics and injected errors retry with fresh seeds,
+// and discarded or corrupt results are skipped. After MaxFailures
+// fruitless attempts the service's calibration entry is omitted for the
+// cycle (reported on the fault ledger) instead of killing the cycle.
+func (w *Watchdog) calibrate(svc services.Service, net netem.Config, opts SchedulerOptions, idx int) (float64, bool) {
+	id := soloSeedID(idx)
+	budget := opts.MaxFailures + opts.MaxDiscards
+	for attempt := 0; attempt < budget; attempt++ {
+		seed := trialSeed(opts.BaseSeed, id, attempt)
+		spec := Spec{Incumbent: svc, Net: net, Seed: seed, Chaos: opts.Chaos}
+		if opts.Timing != nil {
+			spec = opts.Timing(spec)
+		} else {
+			spec = spec.DefaultTiming()
+		}
+		tr, err := runTrialSafe(spec)
+		if err != nil {
+			te := asTrialError(err, seed)
+			if w.OnFault != nil {
+				w.OnFault(FaultEvent{Pair: svc.Name() + " (solo)", Kind: te.Kind, Attempt: attempt, Seed: seed, Detail: te.Msg})
+			}
+			continue
+		}
+		if tr.Discarded || tr.Validate() != nil {
+			continue
+		}
+		return tr.Mbps[0], true
+	}
+	if w.OnFault != nil {
+		w.OnFault(FaultEvent{Pair: svc.Name() + " (solo)", Kind: "calibration", Attempt: budget,
+			Detail: "all calibration attempts failed; entry omitted this cycle"})
+	}
+	return 0, false
 }
 
 // History returns all completed cycles.

@@ -108,6 +108,16 @@ func NewBottleneck(eng *sim.Engine, rateBps int64, capacityPkts int, downstream 
 	}
 }
 
+// SetRate changes the link speed mid-simulation (chaos bandwidth
+// fluctuation). Packets already being serialized finish at the old
+// rate; subsequent transmissions use the new one.
+func (b *Bottleneck) SetRate(rateBps int64) {
+	if rateBps <= 0 {
+		panic(fmt.Sprintf("netem: non-positive link rate %d", rateBps))
+	}
+	b.RateBps = rateBps
+}
+
 // SerializationDelay returns how long the link takes to put size bytes on
 // the wire.
 func (b *Bottleneck) SerializationDelay(size int) sim.Time {

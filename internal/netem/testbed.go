@@ -90,6 +90,14 @@ type Testbed struct {
 	// the watchdog discards trials whose external loss exceeds 0.05 %.
 	ExternalDrops int64
 	upstreamSent  int64
+
+	// ChaosDrops counts packets blackholed by injected link flaps. They
+	// are kept separate from ExternalDrops so flaps stress throughput
+	// and the CI escalation rather than the noise-discard gate.
+	ChaosDrops int64
+
+	linkDownUntil sim.Time
+	stallUntil    [MaxServices]sim.Time
 }
 
 // NewTestbed assembles the dumbbell for one experiment on a fresh engine.
@@ -144,6 +152,10 @@ func (tb *Testbed) RegisterFlow(service int, toClient, toServer Handler) int {
 // the bottleneck.
 func (tb *Testbed) SendData(now sim.Time, p *Packet) {
 	tb.upstreamSent++
+	if now < tb.linkDownUntil {
+		tb.ChaosDrops++
+		return
+	}
 	if tb.noise != nil && tb.noise.drops(now) {
 		tb.ExternalDrops++
 		return
@@ -173,15 +185,42 @@ func (tb *Testbed) deliverToClient(now sim.Time, p *Packet) {
 }
 
 // SendAck returns an acknowledgement from the client to the server of
-// flow p.FlowID over the uncongested reverse path.
+// flow p.FlowID over the uncongested reverse path. If the owning slot is
+// under an injected client stall, the ACK is held (not lost) until the
+// stall window ends.
 func (tb *Testbed) SendAck(now sim.Time, p *Packet) {
 	ep := tb.flows[p.FlowID]
 	if ep.toServer == nil {
 		return
 	}
-	tb.Eng.After(tb.ackDelay, func(at sim.Time) {
+	at := now + tb.ackDelay
+	if stall := tb.stallUntil[ep.service]; at < stall {
+		at = stall
+	}
+	tb.Eng.Schedule(at, func(at sim.Time) {
 		ep.toServer(at, p)
 	})
+}
+
+// SetLinkDown blackholes all upstream packets until the given virtual
+// time (an injected link flap). Overlapping flaps extend, never shorten,
+// the outage.
+func (tb *Testbed) SetLinkDown(until sim.Time) {
+	if until > tb.linkDownUntil {
+		tb.linkDownUntil = until
+	}
+}
+
+// StallService holds the given slot's ACKs until the given virtual time
+// (an injected client stall — the browser-hang analogue). Held ACKs are
+// released in order when the stall ends.
+func (tb *Testbed) StallService(slot int, until sim.Time) {
+	if slot < 0 || slot >= MaxServices {
+		panic(fmt.Sprintf("netem: stall slot %d out of range", slot))
+	}
+	if until > tb.stallUntil[slot] {
+		tb.stallUntil[slot] = until
+	}
 }
 
 // ExternalLossRate reports the fraction of upstream packets lost to noise.

@@ -1,0 +1,40 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// TestHeatmapQuarantinedCells: NaN cells (quarantined pairs) render as
+// ×× without breaking column alignment.
+func TestHeatmapQuarantinedCells(t *testing.T) {
+	names := []string{"Alpha", "Beta"}
+	out := Heatmap("quarantine", names, func(inc, cont string) (float64, bool) {
+		switch {
+		case inc == "Alpha" && cont == "Alpha":
+			return math.NaN(), true
+		case inc == "Beta" && cont == "Beta":
+			return 0, false // blank
+		default:
+			return 42, true
+		}
+	}, ".0f")
+	if !strings.Contains(out, "××") {
+		t.Fatalf("no ×× marker for the quarantined cell:\n%s", out)
+	}
+	if !strings.Contains(out, "42") || !strings.Contains(out, "-") {
+		t.Fatalf("numeric/blank cells missing:\n%s", out)
+	}
+	// The ×× glyphs are 2 display columns but 4 bytes; every data row
+	// must still line up (equal rune counts).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	rows := lines[1:] // skip the title
+	w := utf8.RuneCountInString(rows[0])
+	for i, r := range rows {
+		if utf8.RuneCountInString(r) != w {
+			t.Fatalf("row %d width %d, want %d:\n%s", i, utf8.RuneCountInString(r), w, out)
+		}
+	}
+}

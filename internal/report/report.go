@@ -6,6 +6,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"prudentia/internal/metrics"
@@ -14,7 +15,9 @@ import (
 )
 
 // CellFunc supplies one heatmap value: the measurement for incumbent
-// (column) against contender (row). ok=false renders a blank.
+// (column) against contender (row). ok=false renders a blank; NaN
+// renders ×× (a quarantined pair — the watchdog gave up on it after
+// repeated trial failures, rather than aborting the matrix).
 type CellFunc func(incumbent, contender string) (float64, bool)
 
 // Heatmap renders a contender-rows × incumbent-columns table, matching
@@ -41,6 +44,13 @@ func Heatmap(title string, names []string, cell CellFunc, format string) string 
 			v, ok := cell(col, row)
 			if !ok {
 				fmt.Fprintf(&b, "%*s", colW, "-")
+				continue
+			}
+			if math.IsNaN(v) {
+				// Quarantined cell. "××" is two display columns but four
+				// bytes, so pad by rune count rather than %*s.
+				b.WriteString(strings.Repeat(" ", colW-2))
+				b.WriteString("××")
 				continue
 			}
 			fmt.Fprintf(&b, fmt.Sprintf("%%%d%s", colW, format), v)

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"prudentia/internal/core"
+)
+
+func TestFaultLedgerCountsAndSummary(t *testing.T) {
+	l := &FaultLedger{}
+	if got := l.Summary(); got != "" {
+		t.Fatalf("empty ledger Summary = %q", got)
+	}
+	l.Record(core.FaultEvent{Pair: "a vs b", Kind: "panic", Attempt: 0, Seed: 42, Detail: "boom"})
+	l.Record(core.FaultEvent{Pair: "a vs b", Kind: "retry", Attempt: 0, Seed: 42})
+	l.Record(core.FaultEvent{Pair: "c vs d", Kind: "panic", Attempt: 1, Seed: 7})
+	counts := l.Counts()
+	if counts["panic"] != 2 || counts["retry"] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+	if got := l.Summary(); got != "panic=2 retry=1" {
+		t.Fatalf("Summary = %q, want %q", got, "panic=2 retry=1")
+	}
+}
+
+func TestWriteFaultsCSV(t *testing.T) {
+	events := []core.FaultEvent{
+		{Pair: "a vs b", Kind: "panic", Attempt: 3, Seed: 42, Detail: "chaos: injected panic"},
+		{Pair: "a vs b", Kind: "quarantine", Attempt: 3, Seed: 42, Detail: "3 failures"},
+	}
+	var b strings.Builder
+	if err := WriteFaultsCSV(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	want := []string{
+		"pair,kind,attempt,seed,detail",
+		"a vs b,panic,3,42,chaos: injected panic",
+		"a vs b,quarantine,3,42,3 failures",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), b.String())
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
+	"prudentia/internal/core"
 	"prudentia/internal/metrics"
 	"prudentia/internal/netem"
 	"prudentia/internal/sim"
@@ -96,6 +98,70 @@ func WriteDropsCSV(w io.Writer, drops []DropEvent) error {
 			strconv.Itoa(d.FlowID),
 			strconv.FormatInt(d.Seq, 10),
 			strconv.Itoa(d.Size),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FaultLedger accumulates the scheduler's robustness events — trial
+// failures, retries, discards, validity-gate rejections, quarantines —
+// for export alongside the per-experiment artifacts. Wire Record into
+// Matrix.OnFault or Watchdog.OnFault.
+type FaultLedger struct {
+	Events []core.FaultEvent
+}
+
+// Record appends one event (the OnFault hook).
+func (l *FaultLedger) Record(ev core.FaultEvent) {
+	l.Events = append(l.Events, ev)
+}
+
+// Counts tallies events by kind.
+func (l *FaultLedger) Counts() map[string]int {
+	out := make(map[string]int)
+	for _, ev := range l.Events {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// Summary renders the tally as a stable one-line string
+// ("corrupt=2 discard=1 retry=3 ...", empty for no events).
+func (l *FaultLedger) Summary() string {
+	counts := l.Counts()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var b []byte
+	for i, k := range kinds {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, fmt.Sprintf("%s=%d", k, counts[k])...)
+	}
+	return string(b)
+}
+
+// WriteFaultsCSV emits the robustness ledger as CSV
+// (pair,kind,attempt,seed,detail).
+func WriteFaultsCSV(w io.Writer, events []core.FaultEvent) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pair", "kind", "attempt", "seed", "detail"}); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		rec := []string{
+			ev.Pair,
+			ev.Kind,
+			strconv.Itoa(ev.Attempt),
+			strconv.FormatUint(ev.Seed, 10),
+			ev.Detail,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -92,6 +92,10 @@ type Result struct {
 	// failed the paper's CI criterion at the trial cap (Obs 15).
 	Trials   int
 	Unstable bool
+	// Failed marks a quarantined pair: repeated trial errors or panics
+	// exhausted the scheduler's retry budget, so the medians above are
+	// meaningless and the pair was excluded rather than aborting the run.
+	Failed bool
 }
 
 // Run executes one experiment using the §3.4 protocol.
@@ -129,6 +133,7 @@ func Run(e Experiment) (Result, error) {
 		Contender: e.Contender,
 		Trials:    len(out.Trials),
 		Unstable:  out.Unstable,
+		Failed:    out.Failed,
 	}
 	for slot := 0; slot < 2; slot++ {
 		res.MedianSharePct[slot] = out.MedianSharePct(slot)

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, vet, and the full test suite under the
+# race detector (the concurrency smoke tests in internal/core rely on
+# -race to catch shared-state regressions in the scheduler).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+# The race detector slows the simulation-heavy core tests well past the
+# default 10m per-package budget.
+go test -race -count=1 -timeout 45m ./...
