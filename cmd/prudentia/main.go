@@ -12,10 +12,18 @@
 // (link flaps, bandwidth sags, client stalls, trial panics/errors,
 // result corruption) to exercise those defenses.
 //
+// -workers N (default GOMAXPROCS) fans calibrations and pair trials out
+// to a worker pool; every trial owns a private simulation engine and
+// emulated testbed, and completed work is merged in canonical order, so
+// heatmaps, checkpoints, and the fault ledger are byte-identical for any
+// worker count. The first SIGINT drains the trials in flight before
+// flushing the checkpoint; a resumed parallel run replays identically.
+//
 // Usage:
 //
 //	prudentia -cycles 1 -quick
 //	prudentia -cycles 0            # run forever (live watchdog mode)
+//	prudentia -workers 8           # parallel matrix, identical output
 //	prudentia -checkpoint state.json            # crash-safe cycles
 //	prudentia -checkpoint state.json -resume    # continue after a kill
 //	prudentia -chaos -v                         # fault-injection run
@@ -28,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -52,10 +61,13 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "checkpoint file: flush cycle state after every pair")
 		resume     = flag.Bool("resume", false, "resume the interrupted cycle from -checkpoint")
 		chaosOn    = flag.Bool("chaos", false, "arm the deterministic fault-injection plan (all classes)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"parallel trial workers for calibrations and the pair matrix (1 = serial; output is byte-identical for any value)")
 	)
 	flag.Parse()
 
 	w := core.NewWatchdog()
+	w.Workers = *workers
 	switch {
 	case strings.HasPrefix(*setting, "high"):
 		w.Settings = []netem.Config{netem.HighlyConstrained()}

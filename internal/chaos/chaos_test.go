@@ -1,7 +1,9 @@
 package chaos
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"prudentia/internal/netem"
@@ -124,5 +126,58 @@ func TestArmFlapsBlackholeDeterministically(t *testing.T) {
 	}
 	if a != b {
 		t.Fatalf("flap process not deterministic: %d vs %d drops", a, b)
+	}
+}
+
+// TestScheduleIndependence proves the property the parallel matrix
+// engine depends on: fault decisions are pure functions of the trial
+// seed, so a Config shared by many workers yields the same plan no
+// matter which goroutine asks, in which order, or how many times.
+// Running this under -race (scripts/ci.sh) also certifies the shared
+// Config is read-only during concurrent queries.
+func TestScheduleIndependence(t *testing.T) {
+	c := &Config{PanicRate: 0.15, ErrorRate: 0.15, CorruptRate: 0.2}
+	const n = 4096
+
+	// Serial reference plan, queried in ascending seed order.
+	faults := make([]Fault, n)
+	kinds := make([]CorruptKind, n)
+	streams := make([]uint64, n)
+	for seed := uint64(0); seed < n; seed++ {
+		faults[seed] = c.TrialFault(seed)
+		kinds[seed] = c.Corruption(seed)
+		streams[seed] = StreamSeed(seed)
+	}
+
+	// Eight workers query the same Config concurrently, each walking the
+	// seed space in a different stride order and re-querying seeds other
+	// workers also touch.
+	var wg sync.WaitGroup
+	errc := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(stride uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < n; i++ {
+				seed := (i*stride + stride) % n
+				if got := c.TrialFault(seed); got != faults[seed] {
+					errc <- fmt.Sprintf("seed %d: TrialFault %v, serial %v", seed, got, faults[seed])
+					return
+				}
+				if got := c.Corruption(seed); got != kinds[seed] {
+					errc <- fmt.Sprintf("seed %d: Corruption %v, serial %v", seed, got, kinds[seed])
+					return
+				}
+				if got := StreamSeed(seed); got != streams[seed] {
+					errc <- fmt.Sprintf("seed %d: StreamSeed %d, serial %d", seed, got, streams[seed])
+					return
+				}
+			}
+		}(uint64(w)*2 + 1)
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Error("schedule-dependent chaos decision: " + msg)
 	}
 }

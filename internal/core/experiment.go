@@ -4,6 +4,14 @@
 // bottleneck, repeating trials until statistically significant, cycling
 // round-robin through all service pairs in multiple network settings, and
 // publishing MmF-share heatmaps plus QoE reports.
+//
+// Pairs are independent experiments, so Matrix and Watchdog can fan them
+// out to a worker pool (the Workers field): every trial owns a private
+// sim.Engine and netem testbed, every trial seed is a pure function of
+// (BaseSeed, pair, attempt), and completed pairs are merged back in
+// canonical order — heatmaps, checkpoints, and the fault ledger are
+// byte-identical for any worker count. See ARCHITECTURE.md for the data
+// flow and pairproto.go / parallel.go for the protocol and pool.
 package core
 
 import (

@@ -10,11 +10,10 @@ import (
 
 // Matrix runs the all-to-all pairwise protocol over a service list in one
 // network setting, producing the data behind the paper's heatmaps
-// (Figs 2, 11, 12, 13). Trials are interleaved round-robin across pairs
-// (§3.4: "to limit the effect of temporally-localized performance
-// issues") and pairs whose throughput CI stays too wide are re-queued in
-// sets of Step trials up to MaxTrials, exactly the live system's
-// behaviour.
+// (Figs 2, 11, 12, 13). Each pair runs the §3.4 trial-escalation
+// protocol (pairproto.go): an initial batch of MinTrials, escalated in
+// Step-sized sets up to MaxTrials until the throughput CI tightens,
+// exactly the live system's behaviour.
 //
 // The scheduler is crash-safe: a panicking or erroring trial becomes a
 // recorded failure, failed attempts retry with fresh seeds under capped
@@ -22,10 +21,22 @@ import (
 // (Failed), and corrupt results are discarded by the validity gate. No
 // trial fault ever propagates out of Run; the only error Run returns is
 // ErrInterrupted when the Interrupt hook requests a graceful stop.
+//
+// With Workers > 1 the matrix fans pairs out to a worker pool
+// (parallel.go). Every trial owns a private sim.Engine + netem testbed
+// and every seed is a pure function of (BaseSeed, pair, attempt), so
+// results — heatmaps, medians, checkpoints, fault ledger — are
+// byte-identical for any worker count, including 1.
 type Matrix struct {
 	Services []services.Service
 	Net      netem.Config
 	Opts     SchedulerOptions
+
+	// Workers is the number of concurrent pair workers; values <= 1 run
+	// the matrix serially on the caller goroutine. Output is identical
+	// for any value. With Workers > 1 the Interrupt hook must be safe
+	// for concurrent use (it is polled from worker goroutines).
+	Workers int
 
 	// Completed maps pairKey → outcomes restored from a checkpoint;
 	// those pairs are adopted verbatim and not re-run, which — because
@@ -34,33 +45,25 @@ type Matrix struct {
 	Completed map[string]*PairOutcome
 
 	// Interrupt, if non-nil, is polled between trials; returning true
-	// stops the matrix with ErrInterrupted after the current trial.
+	// stops the matrix with ErrInterrupted after draining the trials in
+	// flight. Must be concurrency-safe when Workers > 1.
 	Interrupt func() bool
 
 	// OnPair, if non-nil, is invoked each time a pair reaches a final
-	// state (the checkpoint flush hook).
+	// state (the checkpoint flush hook). Pairs are delivered in
+	// canonical catalog order regardless of Workers, always from the
+	// goroutine that called Run.
 	OnPair func(key string, out *PairOutcome)
 
 	// OnFault, if non-nil, receives the live robustness ledger:
-	// failures, retries, discards, corrupt results, quarantines.
+	// failures, retries, discards, corrupt results, quarantines. Events
+	// are delivered grouped per pair in canonical order, always from
+	// the goroutine that called Run.
 	OnFault func(ev FaultEvent)
 
-	// Progress, if non-nil, receives a line per completed pair.
+	// Progress, if non-nil, receives a line per completed pair (same
+	// ordering and goroutine guarantees as OnPair).
 	Progress func(format string, args ...any)
-}
-
-// pairState tracks one unordered pair through the round-robin scheduler.
-type pairState struct {
-	a, b     int // indices into Services (a <= b)
-	key      string
-	seedID   uint64
-	outcome  *PairOutcome
-	target   int // trials to run before the next CI evaluation
-	attempt  int // every attempt: counted, discarded, corrupt, or failed
-	cooldown int // scheduler rounds to sit out (retry backoff)
-	done     bool
-	svcA     services.Service
-	svcB     services.Service
 }
 
 // MatrixResult holds every pair outcome plus name indexing.
@@ -107,30 +110,8 @@ func (m *Matrix) Run() (*MatrixResult, error) {
 		}
 	}
 
-	// Round-robin: one trial per pending pair per round.
-	for {
-		pending := false
-		for _, st := range states {
-			if st.done {
-				continue
-			}
-			pending = true
-			if m.Interrupt != nil && m.Interrupt() {
-				return res, ErrInterrupted
-			}
-			if st.cooldown > 0 {
-				st.cooldown--
-				continue
-			}
-			m.runOne(st, opts)
-			m.evaluate(st, opts)
-			if st.done {
-				m.finish(st)
-			}
-		}
-		if !pending {
-			break
-		}
+	if m.runAll(states, opts) {
+		return res, ErrInterrupted
 	}
 	return res, nil
 }
@@ -139,101 +120,6 @@ func (m *Matrix) Run() (*MatrixResult, error) {
 func (m *Matrix) fault(ev FaultEvent) {
 	if m.OnFault != nil {
 		m.OnFault(ev)
-	}
-}
-
-// pairLabel names a pair for ledger events and progress lines.
-func (st *pairState) pairLabel() string {
-	return st.outcome.Incumbent + " vs " + st.outcome.Contender
-}
-
-// runOne executes a single counted trial for the pair, retrying
-// noise-discarded and validity-gate-rejected trials immediately (each
-// with a fresh seed). A failing attempt — injected error or recovered
-// panic — records a TrialFailure and returns so the pair backs off
-// while the rest of the matrix keeps interleaving; MaxFailures
-// quarantines the pair.
-func (m *Matrix) runOne(st *pairState, opts SchedulerOptions) {
-	for {
-		seed := trialSeed(opts.BaseSeed, st.seedID, st.attempt)
-		attempt := st.attempt
-		st.attempt++
-		spec := Spec{
-			Incumbent: st.svcA,
-			Contender: st.svcB,
-			Net:       m.Net,
-			Seed:      seed,
-			Chaos:     opts.Chaos,
-		}
-		if opts.Timing != nil {
-			spec = opts.Timing(spec)
-		} else {
-			spec = spec.DefaultTiming()
-		}
-		res, err := runTrialSafe(spec)
-		if err != nil {
-			te := asTrialError(err, seed)
-			st.outcome.Failures = append(st.outcome.Failures,
-				TrialFailure{Attempt: attempt, Seed: seed, Kind: te.Kind, Msg: te.Msg})
-			m.fault(FaultEvent{Pair: st.pairLabel(), Kind: te.Kind, Attempt: attempt, Seed: seed, Detail: te.Msg})
-			if len(st.outcome.Failures) >= opts.MaxFailures {
-				st.outcome.Failed = true
-				st.done = true
-				m.fault(FaultEvent{Pair: st.pairLabel(), Kind: "quarantine", Attempt: attempt, Seed: seed,
-					Detail: fmt.Sprintf("%d failures", len(st.outcome.Failures))})
-			} else {
-				st.outcome.Retries++
-				st.cooldown = backoffRounds(len(st.outcome.Failures))
-				m.fault(FaultEvent{Pair: st.pairLabel(), Kind: "retry", Attempt: attempt, Seed: seed,
-					Detail: fmt.Sprintf("backoff %d rounds", st.cooldown)})
-			}
-			return
-		}
-		if res.Discarded {
-			st.outcome.Discards++
-			m.fault(FaultEvent{Pair: st.pairLabel(), Kind: "discard", Attempt: attempt, Seed: seed,
-				Detail: fmt.Sprintf("external loss %.4f%%", 100*res.ExternalLossRate)})
-			if st.outcome.Discards+st.outcome.Corrupt > opts.MaxDiscards {
-				st.outcome.Unstable = true
-				st.done = true
-				return
-			}
-			continue
-		}
-		if verr := res.Validate(); verr != nil {
-			st.outcome.Corrupt++
-			m.fault(FaultEvent{Pair: st.pairLabel(), Kind: "corrupt", Attempt: attempt, Seed: seed, Detail: verr.Error()})
-			if st.outcome.Discards+st.outcome.Corrupt > opts.MaxDiscards {
-				st.outcome.Unstable = true
-				st.done = true
-				return
-			}
-			continue
-		}
-		st.outcome.Trials = append(st.outcome.Trials, res)
-		return
-	}
-}
-
-// evaluate applies the stopping rule at batch boundaries.
-func (m *Matrix) evaluate(st *pairState, opts SchedulerOptions) {
-	if st.done {
-		return
-	}
-	n := len(st.outcome.Trials)
-	if n < st.target {
-		return
-	}
-	if st.outcome.ciSatisfied(opts.ToleranceMbps) {
-		st.done = true
-	} else if st.target < opts.MaxTrials {
-		st.target += opts.Step
-		if st.target > opts.MaxTrials {
-			st.target = opts.MaxTrials
-		}
-	} else {
-		st.outcome.Unstable = true
-		st.done = true
 	}
 }
 
@@ -362,7 +248,7 @@ func (r *MatrixResult) FailedPairs() []string {
 // the paper's Obs 1 summary statistics.
 func (r *MatrixResult) LosingShares() []float64 {
 	var out []float64
-	for i, a := range r.Names {
+	for i := range r.Names {
 		for j := i + 1; j < len(r.Names); j++ {
 			p := r.Pairs[pairKey(i, j)]
 			if p == nil || p.Failed || len(p.Trials) == 0 {
@@ -374,7 +260,6 @@ func (r *MatrixResult) LosingShares() []float64 {
 			} else {
 				out = append(out, s1)
 			}
-			_ = a
 		}
 	}
 	return out

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"prudentia/internal/chaos"
 	"prudentia/internal/netem"
 	"prudentia/internal/services"
@@ -202,59 +204,44 @@ func (p *PairOutcome) ciSatisfied(tol float64) bool {
 // Trial errors and panics never propagate: they are recorded on the
 // outcome, retried with fresh seeds, and quarantine the pair (Failed)
 // after MaxFailures. The only returned errors are structural
-// (impossible specs).
+// (impossible specs). To observe the per-attempt fault ledger, use
+// RunPairObserved.
 func RunPair(incumbent, contender services.Service, net netem.Config, opts SchedulerOptions) (*PairOutcome, error) {
+	return RunPairObserved(incumbent, contender, net, opts, nil)
+}
+
+// RunPairObserved is RunPair with a live fault-ledger hook: onFault (if
+// non-nil) receives one FaultEvent per failed, discarded, or corrupt
+// attempt, plus retry/quarantine transitions — the same stream
+// Matrix.OnFault delivers. Recording is unconditional: every attempt is
+// both kept on the outcome and emitted to the ledger before any return
+// path, including the attempt that quarantines the pair or exhausts
+// MaxDiscards. (Earlier versions of RunPair bypassed the ledger
+// entirely and returned on terminal attempts without reporting them;
+// it now shares the matrix scheduler's pairProtocol, so the two paths
+// cannot drift.)
+func RunPairObserved(incumbent, contender services.Service, net netem.Config, opts SchedulerOptions, onFault func(FaultEvent)) (*PairOutcome, error) {
+	if incumbent == nil {
+		return nil, fmt.Errorf("core: RunPair requires an incumbent service")
+	}
 	opts = opts.withDefaults()
-	p := &PairOutcome{Incumbent: incumbent.Name()}
+	st := &pairState{
+		a: 0, b: 1,
+		key:     pairKey(0, 1),
+		seedID:  pairSeedID(0, 1),
+		svcA:    incumbent,
+		svcB:    contender,
+		target:  opts.MinTrials,
+		outcome: &PairOutcome{Incumbent: incumbent.Name()},
+	}
 	if contender != nil {
-		p.Contender = contender.Name()
+		st.outcome.Contender = contender.Name()
 	}
-	attempt := 0
-	for len(p.Trials) < opts.MaxTrials {
-		seed := trialSeed(opts.BaseSeed, pairSeedID(0, 1), attempt)
-		spec := Spec{Incumbent: incumbent, Contender: contender, Net: net, Seed: seed, Chaos: opts.Chaos}
-		if opts.Timing != nil {
-			spec = opts.Timing(spec)
-		} else {
-			spec = spec.DefaultTiming()
-		}
-		res, err := runTrialSafe(spec)
-		attempt++
-		if err != nil {
-			te := asTrialError(err, seed)
-			p.Failures = append(p.Failures, TrialFailure{Attempt: attempt - 1, Seed: seed, Kind: te.Kind, Msg: te.Msg})
-			if len(p.Failures) >= opts.MaxFailures {
-				p.Failed = true
-				return p, nil
-			}
-			p.Retries++
-			continue
-		}
-		if res.Discarded {
-			p.Discards++
-			if p.Discards+p.Corrupt > opts.MaxDiscards {
-				p.Unstable = true
-				return p, nil
-			}
-			continue
-		}
-		if verr := res.Validate(); verr != nil {
-			p.Corrupt++
-			if p.Discards+p.Corrupt > opts.MaxDiscards {
-				p.Unstable = true
-				return p, nil
-			}
-			continue
-		}
-		p.Trials = append(p.Trials, res)
-		// Evaluate the stopping rule at batch boundaries only.
-		n := len(p.Trials)
-		if n >= opts.MinTrials && (n-opts.MinTrials)%opts.Step == 0 {
-			if p.ciSatisfied(opts.ToleranceMbps) {
-				return p, nil
-			}
-		}
+	emit := onFault
+	if emit == nil {
+		emit = func(FaultEvent) {}
 	}
-	p.Unstable = !p.ciSatisfied(opts.ToleranceMbps)
-	return p, nil
+	pp := &pairProtocol{net: net, opts: opts, emit: emit}
+	pp.run(st, nil)
+	return st.outcome, nil
 }

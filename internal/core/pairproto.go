@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"prudentia/internal/netem"
+	"prudentia/internal/services"
+)
+
+// This file holds the single-pair trial protocol (§3.4) shared by the
+// matrix scheduler and RunPair. One pairState is driven to completion by
+// one pairProtocol; because every trial seed is a pure function of
+// (BaseSeed, pair identity, attempt index), the protocol's outcome is
+// independent of *when* or *where* (which goroutine) it executes — the
+// property the parallel matrix engine in parallel.go is built on.
+
+// pairState tracks one unordered pair through the trial protocol.
+type pairState struct {
+	a, b     int // indices into the catalog (a <= b)
+	key      string
+	seedID   uint64
+	outcome  *PairOutcome
+	target   int // trials to run before the next CI evaluation
+	attempt  int // every attempt: counted, discarded, corrupt, or failed
+	cooldown int // protocol rounds to sit out (retry backoff)
+	done     bool
+	svcA     services.Service
+	svcB     services.Service
+}
+
+// pairLabel names a pair for ledger events and progress lines.
+func (st *pairState) pairLabel() string {
+	return st.outcome.Incumbent + " vs " + st.outcome.Contender
+}
+
+// pairProtocol executes the §3.4 trial-escalation protocol for one pair
+// in one network setting. It owns no shared state: every trial builds a
+// private sim.Engine and netem testbed from its seed, and all ledger
+// traffic goes through emit, so any number of pairProtocols may run
+// concurrently on the same catalog.
+type pairProtocol struct {
+	net  netem.Config
+	opts SchedulerOptions
+	// emit receives every ledger event the protocol produces — failures,
+	// retries, discards, corrupt results, quarantines. Recording is
+	// unconditional: every attempt is emitted before any return path,
+	// including the attempt that quarantines the pair or marks it
+	// Unstable. Must be non-nil (use a no-op func for no listener).
+	emit func(FaultEvent)
+}
+
+// run drives st until the pair reaches a final state, polling interrupt
+// (if non-nil) before every trial. It returns false if interrupted, in
+// which case the outcome is incomplete and must not be treated as final.
+func (pp *pairProtocol) run(st *pairState, interrupt func() bool) bool {
+	for !st.done {
+		if interrupt != nil && interrupt() {
+			return false
+		}
+		if st.cooldown > 0 {
+			st.cooldown--
+			continue
+		}
+		pp.runOne(st)
+		pp.evaluate(st)
+	}
+	return true
+}
+
+// runOne executes a single counted trial for the pair, retrying
+// noise-discarded and validity-gate-rejected trials immediately (each
+// with a fresh seed). A failing attempt — injected error or recovered
+// panic — records a TrialFailure and returns so the pair backs off;
+// MaxFailures quarantines the pair.
+func (pp *pairProtocol) runOne(st *pairState) {
+	for {
+		seed := trialSeed(pp.opts.BaseSeed, st.seedID, st.attempt)
+		attempt := st.attempt
+		st.attempt++
+		spec := Spec{
+			Incumbent: st.svcA,
+			Contender: st.svcB,
+			Net:       pp.net,
+			Seed:      seed,
+			Chaos:     pp.opts.Chaos,
+		}
+		if pp.opts.Timing != nil {
+			spec = pp.opts.Timing(spec)
+		} else {
+			spec = spec.DefaultTiming()
+		}
+		res, err := runTrialSafe(spec)
+		if err != nil {
+			te := asTrialError(err, seed)
+			st.outcome.Failures = append(st.outcome.Failures,
+				TrialFailure{Attempt: attempt, Seed: seed, Kind: te.Kind, Msg: te.Msg})
+			pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: te.Kind, Attempt: attempt, Seed: seed, Detail: te.Msg})
+			if len(st.outcome.Failures) >= pp.opts.MaxFailures {
+				st.outcome.Failed = true
+				st.done = true
+				pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: "quarantine", Attempt: attempt, Seed: seed,
+					Detail: fmt.Sprintf("%d failures", len(st.outcome.Failures))})
+			} else {
+				st.outcome.Retries++
+				st.cooldown = backoffRounds(len(st.outcome.Failures))
+				pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: "retry", Attempt: attempt, Seed: seed,
+					Detail: fmt.Sprintf("backoff %d rounds", st.cooldown)})
+			}
+			return
+		}
+		if res.Discarded {
+			st.outcome.Discards++
+			pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: "discard", Attempt: attempt, Seed: seed,
+				Detail: fmt.Sprintf("external loss %.4f%%", 100*res.ExternalLossRate)})
+			if st.outcome.Discards+st.outcome.Corrupt > pp.opts.MaxDiscards {
+				st.outcome.Unstable = true
+				st.done = true
+				return
+			}
+			continue
+		}
+		if verr := res.Validate(); verr != nil {
+			st.outcome.Corrupt++
+			pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: "corrupt", Attempt: attempt, Seed: seed, Detail: verr.Error()})
+			if st.outcome.Discards+st.outcome.Corrupt > pp.opts.MaxDiscards {
+				st.outcome.Unstable = true
+				st.done = true
+				return
+			}
+			continue
+		}
+		st.outcome.Trials = append(st.outcome.Trials, res)
+		return
+	}
+}
+
+// evaluate applies the stopping rule at batch boundaries.
+func (pp *pairProtocol) evaluate(st *pairState) {
+	if st.done {
+		return
+	}
+	n := len(st.outcome.Trials)
+	if n < st.target {
+		return
+	}
+	if st.outcome.ciSatisfied(pp.opts.ToleranceMbps) {
+		st.done = true
+	} else if st.target < pp.opts.MaxTrials {
+		st.target += pp.opts.Step
+		if st.target > pp.opts.MaxTrials {
+			st.target = pp.opts.MaxTrials
+		}
+	} else {
+		st.outcome.Unstable = true
+		st.done = true
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Worker-pool execution of the pair matrix.
+//
+// The matrix is embarrassingly parallel by construction: each trial
+// builds a private sim.Engine + netem testbed from a seed that is a
+// pure function of (BaseSeed, pair, attempt), so a pair's outcome does
+// not depend on scheduling order. The pool therefore dispatches whole
+// pairs to N workers and restores determinism at the output boundary:
+// completed pairs are *released* — ledger events, then the OnPair
+// checkpoint hook, then the Progress line — strictly in canonical
+// (pair, trial) order, streamed as the canonical prefix completes. The
+// released byte stream (heatmaps, medians, checkpoints, fault ledger)
+// is identical for any worker count, including 1.
+//
+// Interrupt semantics match the serial scheduler: the hook is polled
+// before every trial; once it fires, workers finish (drain) the trial
+// in flight, abandon their current pair, and take no new ones.
+// Completed pairs stranded behind an abandoned index are still released
+// so their outcomes reach the checkpoint — resume correctness needs
+// only per-pair purity, not a canonical prefix.
+
+// pairRun is one pair's buffered execution record: the ledger events it
+// produced, held until the pool releases the pair in canonical order.
+type pairRun struct {
+	idx       int
+	st        *pairState
+	events    []FaultEvent
+	completed bool
+}
+
+// workerCount clamps a requested worker count to [1, tasks] (minimum 1
+// even for zero tasks, so callers can treat the result as "serial").
+func workerCount(requested, tasks int) int {
+	nw := requested
+	if nw <= 1 {
+		return 1
+	}
+	if nw > tasks {
+		nw = tasks
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	return nw
+}
+
+// runAll executes every pending pair and reports whether the run was
+// interrupted. With one worker it runs inline on the caller goroutine —
+// the exact serial scheduler — so existing Interrupt hooks need not be
+// concurrency-safe unless Workers > 1.
+func (m *Matrix) runAll(states []*pairState, opts SchedulerOptions) (interrupted bool) {
+	nw := workerCount(m.Workers, len(states))
+	if nw <= 1 {
+		for _, st := range states {
+			pp := &pairProtocol{net: m.Net, opts: opts, emit: m.fault}
+			if !pp.run(st, m.Interrupt) {
+				return true
+			}
+			m.finish(st)
+		}
+		return false
+	}
+
+	// stop latches the first true answer from the user hook so every
+	// worker observes the interrupt at its next trial boundary without
+	// hammering the hook.
+	var stop atomic.Bool
+	interrupt := func() bool {
+		if stop.Load() {
+			return true
+		}
+		if m.Interrupt != nil && m.Interrupt() {
+			stop.Store(true)
+			return true
+		}
+		return false
+	}
+
+	tasks := make(chan int, len(states))
+	for i := range states {
+		tasks <- i
+	}
+	close(tasks)
+
+	runs := make(chan *pairRun, len(states))
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				if interrupt() {
+					return
+				}
+				pr := &pairRun{idx: i, st: states[i]}
+				pp := &pairProtocol{net: m.Net, opts: opts,
+					emit: func(ev FaultEvent) { pr.events = append(pr.events, ev) }}
+				pr.completed = pp.run(states[i], interrupt)
+				runs <- pr
+				if !pr.completed {
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(runs)
+	}()
+
+	// Ordered streaming merge, on the caller goroutine: release each
+	// pair as soon as every lower-index pair has been released, so
+	// OnPair/OnFault/Progress consumers (checkpoint flushes, ledgers)
+	// see the canonical sequence without waiting for the whole matrix —
+	// a crash mid-cycle still finds completed pairs on disk.
+	release := func(pr *pairRun) {
+		for _, ev := range pr.events {
+			m.fault(ev)
+		}
+		m.finish(pr.st)
+	}
+	next := 0
+	pending := make(map[int]*pairRun, len(states))
+	for pr := range runs {
+		if !pr.completed {
+			continue
+		}
+		pending[pr.idx] = pr
+		for pending[next] != nil {
+			release(pending[next])
+			delete(pending, next)
+			next++
+		}
+	}
+	// Interrupted runs can strand completed pairs behind an abandoned
+	// index; release them (still in index order) so no finished work is
+	// lost from the checkpoint.
+	if len(pending) > 0 {
+		idxs := make([]int, 0, len(pending))
+		for i := range pending {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			release(pending[i])
+		}
+	}
+	return stop.Load()
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"prudentia/internal/chaos"
+	"prudentia/internal/netem"
+	"prudentia/internal/report"
+)
+
+// matrixCapture is everything observable about one matrix run: the
+// result, the fault-ledger stream, the OnPair release sequence, the
+// progress lines, and a rendered heatmap. The parallel engine promises
+// all of it is byte-identical for any worker count.
+type matrixCapture struct {
+	res      []byte
+	events   []byte
+	pairSeq  []string
+	progress []string
+	heatmap  string
+}
+
+func runMatrixWorkers(t *testing.T, workers int) matrixCapture {
+	t.Helper()
+	opts := fastOpts(netem.HighlyConstrained())
+	opts.BaseSeed = 42
+	opts.Chaos = hotChaos()
+	var events []FaultEvent
+	var c matrixCapture
+	m := &Matrix{
+		Services: threeServices(),
+		Net:      netem.HighlyConstrained(),
+		Opts:     opts,
+		Workers:  workers,
+		OnFault:  func(ev FaultEvent) { events = append(events, ev) },
+		OnPair:   func(key string, out *PairOutcome) { c.pairSeq = append(c.pairSeq, key) },
+		Progress: func(format string, args ...any) {
+			c.progress = append(c.progress, fmt.Sprintf(format, args...))
+		},
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merr error
+	c.res, merr = json.Marshal(res)
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	c.events, merr = json.Marshal(events)
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	c.heatmap = report.Heatmap("MmF share %", res.Names,
+		func(inc, cont string) (float64, bool) { return res.SharePct(inc, cont) }, ".1f")
+	return c
+}
+
+// TestMatrixParallelDeterminism is the tentpole acceptance criterion:
+// the same chaos-enabled matrix run with 1, 2, 3, and 8 workers must
+// produce byte-identical results, fault ledgers, OnPair sequences,
+// progress output, and rendered heatmaps. Run under -race via
+// scripts/ci.sh this also proves the concurrent paths share no state.
+func TestMatrixParallelDeterminism(t *testing.T) {
+	base := runMatrixWorkers(t, 1)
+	if len(base.pairSeq) != 6 {
+		t.Fatalf("serial run released %d pairs, want 6", len(base.pairSeq))
+	}
+	for _, nw := range []int{2, 3, 8} {
+		got := runMatrixWorkers(t, nw)
+		if !bytes.Equal(base.res, got.res) {
+			t.Errorf("workers=%d: MatrixResult differs from serial:\n%s\nvs\n%s", nw, base.res, got.res)
+		}
+		if !bytes.Equal(base.events, got.events) {
+			t.Errorf("workers=%d: fault ledger differs from serial:\n%s\nvs\n%s", nw, base.events, got.events)
+		}
+		if fmt.Sprint(base.pairSeq) != fmt.Sprint(got.pairSeq) {
+			t.Errorf("workers=%d: OnPair sequence %v, want canonical %v", nw, got.pairSeq, base.pairSeq)
+		}
+		if fmt.Sprint(base.progress) != fmt.Sprint(got.progress) {
+			t.Errorf("workers=%d: progress lines differ:\n%v\nvs\n%v", nw, got.progress, base.progress)
+		}
+		if base.heatmap != got.heatmap {
+			t.Errorf("workers=%d: rendered heatmap differs:\n%s\nvs\n%s", nw, got.heatmap, base.heatmap)
+		}
+	}
+}
+
+// TestWatchdogCheckpointDeterminismAcrossWorkers asserts the stronger
+// cycle-level property: not only the final CycleResult but every
+// intermediate checkpoint flushed during the cycle is byte-identical
+// between a serial and an 8-worker run. The checkpoint file is sampled
+// at each per-pair Progress callback, which the ordered merge fires
+// after the corresponding checkpoint flush.
+func TestWatchdogCheckpointDeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) (snaps []string, final []byte) {
+		ckpt := filepath.Join(t.TempDir(), "ckpt.json")
+		opts := fastOpts(netem.HighlyConstrained())
+		opts.BaseSeed = 21
+		opts.Chaos = &chaos.Config{PanicRate: 0.12, ErrorRate: 0.08, CorruptRate: 0.10}
+		w := &Watchdog{
+			Services:       threeServices(),
+			Settings:       []netem.Config{netem.HighlyConstrained()},
+			Opts:           opts,
+			Workers:        workers,
+			CheckpointPath: ckpt,
+			Progress: func(format string, args ...any) {
+				b, err := os.ReadFile(ckpt)
+				if err != nil {
+					t.Errorf("checkpoint unreadable at progress point: %v", err)
+					return
+				}
+				snaps = append(snaps, string(b))
+			},
+		}
+		cr, err := w.RunCycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, _ = json.Marshal(cr)
+		return snaps, final
+	}
+	serialSnaps, serialFinal := run(1)
+	parallelSnaps, parallelFinal := run(8)
+	if len(serialSnaps) == 0 {
+		t.Fatal("no checkpoint snapshots captured")
+	}
+	if len(serialSnaps) != len(parallelSnaps) {
+		t.Fatalf("snapshot counts differ: serial %d, parallel %d", len(serialSnaps), len(parallelSnaps))
+	}
+	for i := range serialSnaps {
+		if serialSnaps[i] != parallelSnaps[i] {
+			t.Fatalf("checkpoint %d differs between worker counts:\n%s\nvs\n%s",
+				i, serialSnaps[i], parallelSnaps[i])
+		}
+	}
+	if !bytes.Equal(serialFinal, parallelFinal) {
+		t.Fatalf("final cycle differs between worker counts:\n%s\nvs\n%s", serialFinal, parallelFinal)
+	}
+}
+
+// TestParallelInterruptCheckpointResume covers graceful shutdown of a
+// parallel cycle (the -workers analogue of the SIGINT path): the first
+// interrupt drains in-flight trials and leaves a loadable checkpoint,
+// and a parallel resume from it replays into a cycle byte-identical to
+// an uninterrupted serial run.
+func TestParallelInterruptCheckpointResume(t *testing.T) {
+	mk := func(ckpt string, workers int, interrupt func() bool) *Watchdog {
+		opts := fastOpts(netem.HighlyConstrained())
+		opts.BaseSeed = 11
+		opts.Chaos = &chaos.Config{PanicRate: 0.15, ErrorRate: 0.10, CorruptRate: 0.10}
+		return &Watchdog{
+			Services:       threeServices(),
+			Settings:       []netem.Config{netem.HighlyConstrained()},
+			Opts:           opts,
+			Workers:        workers,
+			CheckpointPath: ckpt,
+			Interrupt:      interrupt,
+		}
+	}
+	ckpt := filepath.Join(t.TempDir(), "ckpt.json")
+
+	// Interrupt partway through the matrix. The hook is polled from
+	// worker goroutines, hence the atomic counter.
+	var polls atomic.Int64
+	wA := mk(ckpt, 4, func() bool { return polls.Add(1) > 10 })
+	if _, err := wA.RunCycle(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted parallel cycle returned %v, want ErrInterrupted", err)
+	}
+	cp, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint after parallel interrupt not loadable: %v", err)
+	}
+	if cp.Cycle != 1 {
+		t.Fatalf("checkpoint cycle = %d, want 1", cp.Cycle)
+	}
+
+	wB := mk(ckpt, 4, nil)
+	if found, err := wB.LoadCheckpoint(); err != nil || !found {
+		t.Fatalf("LoadCheckpoint = %v, %v; want found", found, err)
+	}
+	crB, err := wB.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not removed after completed cycle: %v", err)
+	}
+
+	wC := mk("", 1, nil)
+	crC, err := wC.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := json.Marshal(crB)
+	jc, _ := json.Marshal(crC)
+	if !bytes.Equal(jb, jc) {
+		t.Fatalf("parallel resume differs from uninterrupted serial run:\n%s\nvs\n%s", jb, jc)
+	}
+}
+
+// TestRunPairLedgerUnconditional is the regression test for the
+// RunPair fix: every attempt must be recorded on both the outcome and
+// the fault ledger before any return path — including the attempt that
+// quarantines the pair and the discard/corrupt attempt that exhausts
+// MaxDiscards, which earlier versions dropped from the ledger by
+// returning first.
+func TestRunPairLedgerUnconditional(t *testing.T) {
+	net := netem.HighlyConstrained()
+
+	// Quarantine path: every trial errors; the final (quarantining)
+	// attempt must appear in the ledger too.
+	opts := fastOpts(net)
+	opts.MaxFailures = 3
+	opts.Chaos = &chaos.Config{ErrorRate: 1}
+	var events []FaultEvent
+	p, err := RunPairObserved(threeServices()[0], threeServices()[1], net, opts,
+		func(ev FaultEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Failed || len(p.Failures) != opts.MaxFailures {
+		t.Fatalf("pair not quarantined after %d failures: %+v", opts.MaxFailures, p)
+	}
+	byKind := map[string]int{}
+	for _, ev := range events {
+		byKind[ev.Kind]++
+	}
+	if byKind["error"] != opts.MaxFailures {
+		t.Errorf("ledger recorded %d error attempts, want %d (unconditional recording)",
+			byKind["error"], opts.MaxFailures)
+	}
+	if byKind["retry"] != opts.MaxFailures-1 || byKind["quarantine"] != 1 {
+		t.Errorf("ledger transitions = %v, want %d retries and 1 quarantine",
+			byKind, opts.MaxFailures-1)
+	}
+	// Ledger attempts must match the outcome's failure records 1:1.
+	i := 0
+	for _, ev := range events {
+		if ev.Kind != "error" {
+			continue
+		}
+		f := p.Failures[i]
+		if ev.Attempt != f.Attempt || ev.Seed != f.Seed {
+			t.Errorf("ledger event %d (attempt %d seed %d) != outcome failure (attempt %d seed %d)",
+				i, ev.Attempt, ev.Seed, f.Attempt, f.Seed)
+		}
+		i++
+	}
+
+	// Discard-exhaustion path: every trial is corrupted; the attempt
+	// that exhausts MaxDiscards must be in the ledger despite the early
+	// Unstable return.
+	opts = fastOpts(net)
+	opts.MaxDiscards = 2
+	opts.Chaos = &chaos.Config{CorruptRate: 1}
+	events = nil
+	p, err = RunPairObserved(threeServices()[0], threeServices()[1], net, opts,
+		func(ev FaultEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Unstable || p.Corrupt != opts.MaxDiscards+1 {
+		t.Fatalf("pair not unstable after exhausting discards: %+v", p)
+	}
+	corrupt := 0
+	for _, ev := range events {
+		if ev.Kind == "corrupt" {
+			corrupt++
+		}
+	}
+	if corrupt != opts.MaxDiscards+1 {
+		t.Errorf("ledger recorded %d corrupt attempts, want %d (terminal attempt included)",
+			corrupt, opts.MaxDiscards+1)
+	}
+
+	// Plain RunPair (nil ledger) must behave identically.
+	p2, err := RunPair(threeServices()[0], threeServices()[1], net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(p)
+	b, _ := json.Marshal(p2)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("RunPair and RunPairObserved outcomes differ:\n%s\nvs\n%s", a, b)
+	}
+
+	if _, err := RunPairObserved(nil, nil, net, opts, nil); err == nil {
+		t.Fatal("nil incumbent must be rejected")
+	}
+}
+
+// TestWorkerCountClamp pins the pool-sizing rule: never more workers
+// than tasks, never fewer than one.
+func TestWorkerCountClamp(t *testing.T) {
+	cases := []struct{ req, tasks, want int }{
+		{0, 10, 1}, {-3, 10, 1}, {1, 10, 1},
+		{4, 10, 4}, {16, 6, 6}, {8, 0, 1}, {2, 1, 1},
+	}
+	for _, c := range cases {
+		if got := workerCount(c.req, c.tasks); got != c.want {
+			t.Errorf("workerCount(%d, %d) = %d, want %d", c.req, c.tasks, got, c.want)
+		}
+	}
+}

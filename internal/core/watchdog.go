@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"prudentia/internal/netem"
 	"prudentia/internal/services"
@@ -26,6 +28,14 @@ type Watchdog struct {
 	// PaperOptions apply only when Opts.IsZero(); a caller who sets any
 	// field (for example only Timing) keeps their options.
 	Opts SchedulerOptions
+	// Workers is the number of concurrent trial workers used for solo
+	// calibrations and the pair matrices; values <= 1 run everything
+	// serially. Results — heatmaps, medians, checkpoints, fault ledger —
+	// are byte-identical for any worker count, because every trial seed
+	// is a pure function of (pair, attempt) and completed work is merged
+	// in canonical order. With Workers > 1 the Interrupt hook must be
+	// safe for concurrent use.
+	Workers int
 	// AccessCodes gate third-party submissions.
 	AccessCodes []string
 	// Progress, if non-nil, receives human-readable progress lines.
@@ -37,8 +47,10 @@ type Watchdog struct {
 	// reported via Progress but never aborts the cycle.
 	CheckpointPath string
 	// Interrupt, if non-nil, is polled between trials; returning true
-	// stops RunCycle gracefully with ErrInterrupted after flushing the
-	// checkpoint.
+	// stops RunCycle gracefully with ErrInterrupted after draining
+	// in-flight trials and flushing the checkpoint. Must be
+	// concurrency-safe when Workers > 1 (it is polled from worker
+	// goroutines).
 	Interrupt func() bool
 	// OnFault, if non-nil, receives the live robustness ledger from all
 	// matrices and calibrations.
@@ -169,9 +181,12 @@ func (w *Watchdog) flush(cp *Checkpoint) {
 // It is crash-safe end to end: trial panics and errors are quarantined
 // per pair, completed state is checkpointed after every pair when
 // CheckpointPath is set, and an Interrupt request returns
-// ErrInterrupted with the checkpoint flushed. A cycle resumed from a
-// checkpoint (see Resume/LoadCheckpoint) produces a CycleResult
-// identical to an uninterrupted run.
+// ErrInterrupted with in-flight trials drained and the checkpoint
+// flushed. A cycle resumed from a checkpoint (see Resume/LoadCheckpoint)
+// produces a CycleResult identical to an uninterrupted run. With
+// Workers > 1 calibrations and pair trials run on a worker pool; the
+// cycle's outputs (and any resumed continuation of it) are byte-
+// identical for every worker count.
 func (w *Watchdog) RunCycle() (*CycleResult, error) {
 	cr := &CycleResult{Cycle: len(w.cycles) + 1}
 	cp := w.resume
@@ -195,15 +210,11 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 		if cp != nil && si < len(cp.Calibration) && cp.Calibration[si] != nil {
 			cal = cp.Calibration[si]
 		} else {
-			cal = make(map[string]float64, len(w.Services))
-			for i, svc := range w.Services {
-				if w.interrupted() {
-					w.flush(live)
-					return nil, ErrInterrupted
-				}
-				if mbps, ok := w.calibrate(svc, net, opts, i); ok {
-					cal[svc.Name()] = mbps
-				}
+			var stopped bool
+			cal, stopped = w.calibrateAll(net, opts)
+			if stopped {
+				w.flush(live)
+				return nil, ErrInterrupted
 			}
 		}
 		live.Calibration[si] = cal
@@ -224,6 +235,7 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 			Services:  w.Services,
 			Net:       net,
 			Opts:      opts,
+			Workers:   w.Workers,
 			Progress:  w.Progress,
 			OnFault:   w.OnFault,
 			Interrupt: w.Interrupt,
@@ -247,12 +259,101 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 	return cr, nil
 }
 
+// calibrateAll measures every catalog service solo for one setting,
+// fanning services out to the worker pool when Workers > 1. Like the
+// pair matrix, calibration is deterministic for any worker count: each
+// service's attempt seeds derive from its catalog index alone, and
+// fault events are emitted in catalog order. It reports stopped=true
+// (with the partial map discarded, matching the serial scheduler) when
+// the Interrupt hook fires.
+func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions) (cal map[string]float64, stopped bool) {
+	cal = make(map[string]float64, len(w.Services))
+	nw := workerCount(w.Workers, len(w.Services))
+	if nw <= 1 {
+		for i, svc := range w.Services {
+			if w.interrupted() {
+				return nil, true
+			}
+			if mbps, ok := w.calibrate(svc, net, opts, i, w.OnFault); ok {
+				cal[svc.Name()] = mbps
+			}
+		}
+		return cal, false
+	}
+
+	type calRun struct {
+		idx    int
+		events []FaultEvent
+		mbps   float64
+		ok     bool
+	}
+	var stop atomic.Bool
+	interrupt := func() bool {
+		if stop.Load() {
+			return true
+		}
+		if w.interrupted() {
+			stop.Store(true)
+			return true
+		}
+		return false
+	}
+	tasks := make(chan int, len(w.Services))
+	for i := range w.Services {
+		tasks <- i
+	}
+	close(tasks)
+	runs := make(chan *calRun, len(w.Services))
+	var wg sync.WaitGroup
+	for k := 0; k < nw; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				if interrupt() {
+					return
+				}
+				cr := &calRun{idx: i}
+				cr.mbps, cr.ok = w.calibrate(w.Services[i], net, opts, i,
+					func(ev FaultEvent) { cr.events = append(cr.events, ev) })
+				runs <- cr
+			}
+		}()
+	}
+	wg.Wait()
+	close(runs)
+
+	done := make([]*calRun, len(w.Services))
+	for cr := range runs {
+		done[cr.idx] = cr
+	}
+	// Emit buffered fault events in catalog order so the ledger is
+	// byte-identical to a serial calibration pass.
+	for i, cr := range done {
+		if cr == nil {
+			continue
+		}
+		if w.OnFault != nil {
+			for _, ev := range cr.events {
+				w.OnFault(ev)
+			}
+		}
+		if cr.ok {
+			cal[w.Services[i].Name()] = cr.mbps
+		}
+	}
+	if stop.Load() {
+		return nil, true
+	}
+	return cal, false
+}
+
 // calibrate measures one service solo with the same defenses the matrix
 // applies: recovered panics and injected errors retry with fresh seeds,
 // and discarded or corrupt results are skipped. After MaxFailures
 // fruitless attempts the service's calibration entry is omitted for the
 // cycle (reported on the fault ledger) instead of killing the cycle.
-func (w *Watchdog) calibrate(svc services.Service, net netem.Config, opts SchedulerOptions, idx int) (float64, bool) {
+func (w *Watchdog) calibrate(svc services.Service, net netem.Config, opts SchedulerOptions, idx int, emit func(FaultEvent)) (float64, bool) {
 	id := soloSeedID(idx)
 	budget := opts.MaxFailures + opts.MaxDiscards
 	for attempt := 0; attempt < budget; attempt++ {
@@ -266,8 +367,8 @@ func (w *Watchdog) calibrate(svc services.Service, net netem.Config, opts Schedu
 		tr, err := runTrialSafe(spec)
 		if err != nil {
 			te := asTrialError(err, seed)
-			if w.OnFault != nil {
-				w.OnFault(FaultEvent{Pair: svc.Name() + " (solo)", Kind: te.Kind, Attempt: attempt, Seed: seed, Detail: te.Msg})
+			if emit != nil {
+				emit(FaultEvent{Pair: svc.Name() + " (solo)", Kind: te.Kind, Attempt: attempt, Seed: seed, Detail: te.Msg})
 			}
 			continue
 		}
@@ -276,8 +377,8 @@ func (w *Watchdog) calibrate(svc services.Service, net netem.Config, opts Schedu
 		}
 		return tr.Mbps[0], true
 	}
-	if w.OnFault != nil {
-		w.OnFault(FaultEvent{Pair: svc.Name() + " (solo)", Kind: "calibration", Attempt: budget,
+	if emit != nil {
+		emit(FaultEvent{Pair: svc.Name() + " (solo)", Kind: "calibration", Attempt: budget,
 			Detail: "all calibration attempts failed; entry omitted this cycle"})
 	}
 	return 0, false

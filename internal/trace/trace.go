@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 
 	"prudentia/internal/core"
 	"prudentia/internal/metrics"
@@ -111,17 +112,39 @@ func WriteDropsCSV(w io.Writer, drops []DropEvent) error {
 // failures, retries, discards, validity-gate rejections, quarantines —
 // for export alongside the per-experiment artifacts. Wire Record into
 // Matrix.OnFault or Watchdog.OnFault.
+//
+// The ledger is safe for concurrent use: one ledger may be shared by
+// several watchdogs or matrices running in parallel. (A single matrix,
+// even with Workers > 1, delivers its events from one goroutine in
+// canonical pair order — the scheduler's ordered merge — so sharing a
+// ledger across runs is the only case that actually interleaves.)
+// Read Events directly only after the runs feeding the ledger have
+// finished; while they are live, use Snapshot.
 type FaultLedger struct {
+	mu     sync.Mutex
 	Events []core.FaultEvent
 }
 
 // Record appends one event (the OnFault hook).
 func (l *FaultLedger) Record(ev core.FaultEvent) {
+	l.mu.Lock()
 	l.Events = append(l.Events, ev)
+	l.mu.Unlock()
+}
+
+// Snapshot returns a copy of the events recorded so far.
+func (l *FaultLedger) Snapshot() []core.FaultEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]core.FaultEvent, len(l.Events))
+	copy(out, l.Events)
+	return out
 }
 
 // Counts tallies events by kind.
 func (l *FaultLedger) Counts() map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make(map[string]int)
 	for _, ev := range l.Events {
 		out[ev.Kind]++

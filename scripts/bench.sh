@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the parallel-matrix benchmark (BenchmarkMatrixParallel) at 1, 2,
+# 4, and 8 workers and emits BENCH_parallel.json at the repo root:
+# ns/op and trials/sec per worker count, plus speedup relative to the
+# serial run, annotated with the host's GOMAXPROCS and CPU count.
+#
+# Speedup is hardware-dependent: the matrix fans pairs out across OS
+# threads, so gains cap at min(workers, GOMAXPROCS, CPUs). On a 1-CPU
+# host every worker count measures the same serial throughput plus pool
+# overhead — the JSON records whatever this machine honestly measured.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 3x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-3x}"
+OUT="BENCH_parallel.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test ./internal/core/ -run '^$' -bench '^BenchmarkMatrixParallel$' \
+    -benchtime "$BENCHTIME" -count=1 | tee "$RAW"
+
+awk -v gomaxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}" \
+    -v cpus="$(getconf _NPROCESSORS_ONLN)" \
+    -v benchtime="$BENCHTIME" '
+/^BenchmarkMatrixParallel\/workers=/ {
+    split($1, parts, "=");
+    sub(/[ \t-].*$/, "", parts[2]);
+    w = parts[2] + 0;
+    nsop[w] = $3 + 0;
+    for (i = 4; i <= NF; i++) if ($(i+1) == "trials/s") tps[w] = $i + 0;
+    if (!(w in seen)) { order[++n] = w; seen[w] = 1 }
+}
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkMatrixParallel\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+    printf "  \"cpus\": %d,\n", cpus
+    printf "  \"note\": \"speedup is bounded by min(workers, cpus); on a 1-CPU host all worker counts measure serial throughput plus pool overhead\",\n"
+    printf "  \"results\": [\n"
+    for (i = 1; i <= n; i++) {
+        w = order[i]
+        speedup = (nsop[w] > 0) ? nsop[order[1]] / nsop[w] : 0
+        printf "    {\"workers\": %d, \"ns_per_op\": %.0f, \"trials_per_sec\": %.2f, \"speedup_vs_serial\": %.3f}%s\n", \
+            w, nsop[w], tps[w], speedup, (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo
+echo "wrote $OUT:"
+cat "$OUT"

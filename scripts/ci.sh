@@ -1,12 +1,44 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, vet, and the full test suite under the
-# race detector (the concurrency smoke tests in internal/core rely on
-# -race to catch shared-state regressions in the scheduler).
+# Tier-1 verification: build, vet, doc-comment gate, the focused
+# parallel-engine race gate, and the full test suite under the race
+# detector (the concurrency smoke tests in internal/core rely on -race
+# to catch shared-state regressions in the scheduler).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+
+# Documentation gate: every package must carry a godoc package comment
+# (a comment line immediately preceding the package clause in at least
+# one non-test file). ARCHITECTURE.md points readers at these docs;
+# keep them present.
+missing=0
+for dir in internal/*/ cmd/*/ .; do
+    ok=0
+    any=0
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        any=1
+        if awk '/^package /{ if (prev ~ /^(\/\/|\*\/)/) found=1; exit } { prev=$0 }
+                END { exit !found }' "$f"; then
+            ok=1
+            break
+        fi
+    done
+    if [ "$any" -eq 1 ] && [ "$ok" -eq 0 ]; then
+        echo "ci: package in $dir has no godoc package comment" >&2
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ] || { echo "ci: doc gate failed" >&2; exit 1; }
+
+# Focused race gate for the parallel matrix engine: the determinism and
+# interrupt/resume tests double as the data-race probes for the worker
+# pool, ordered merge, and shared fault ledger.
+go test -race -count=1 -timeout 10m -run 'Parallel|Determinism' ./internal/core
+
 # The race detector slows the simulation-heavy core tests well past the
 # default 10m per-package budget.
 go test -race -count=1 -timeout 45m ./...
