@@ -54,6 +54,12 @@ type Spec struct {
 	// trial: in-simulation faults on the testbed plus seed-decided
 	// trial-level panics/errors/corruption.
 	Chaos *chaos.Config
+	// Observe, if non-nil, receives the fully-assembled testbed before
+	// any traffic starts. The golden-trace conformance harness
+	// (internal/sim/golden) uses it to attach the netem packet-lifecycle
+	// hooks; trace collectors can use it the same way. It must not start
+	// traffic or advance the engine.
+	Observe func(*netem.Testbed)
 }
 
 // DefaultTiming applies the paper's trial timing: 10 minutes total,
@@ -145,6 +151,9 @@ func RunTrial(spec Spec) (TrialResult, error) {
 			})
 		}
 		spec.Chaos.Arm(eng, tb, crng)
+	}
+	if spec.Observe != nil {
+		spec.Observe(tb)
 	}
 
 	client := browser.TestbedClient()

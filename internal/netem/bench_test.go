@@ -1,0 +1,58 @@
+package netem
+
+import (
+	"testing"
+
+	"prudentia/internal/sim"
+)
+
+// BenchmarkBottleneckSteadyState measures the saturated forwarding path —
+// the regime every contended trial spends its measurement window in. A
+// fixed population of packets cycles through the drop-tail queue, the
+// serializer, and the downstream hop, with the Output handler re-enqueuing
+// each delivery (a closed loop, so the queue never drains). Each iteration
+// is one engine event; the benchmark also reports virtual time simulated
+// per wall-clock second, the paper-facing throughput number (§3: sweep
+// cost scales with per-trial emulation speed).
+func BenchmarkBottleneckSteadyState(b *testing.B) {
+	eng := sim.NewEngine()
+	// 96 Mbps → 125 µs per 1500 B packet; 1 ms downstream ≈ 8 packets in
+	// flight, the rest queued: serializer stays busy throughout.
+	bn := NewBottleneck(eng, 96_000_000, 64, sim.Millisecond)
+	bn.Output = func(now sim.Time, p *Packet) { bn.Enqueue(now, p) }
+	pkts := make([]Packet, 32)
+	for i := range pkts {
+		pkts[i] = Packet{Size: 1500, Service: i % 2, Seq: int64(i)}
+		bn.Enqueue(0, &pkts[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	startSim := eng.Now()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+	b.StopTimer()
+	if wall := b.Elapsed().Seconds(); wall > 0 {
+		b.ReportMetric((eng.Now()-startSim).Seconds()/wall, "simsec/wallsec")
+	}
+}
+
+// BenchmarkBottleneckDropTail measures the overload path: bursts beyond
+// capacity, so a large fraction of enqueues take the drop branch.
+func BenchmarkBottleneckDropTail(b *testing.B) {
+	eng := sim.NewEngine()
+	bn := NewBottleneck(eng, 96_000_000, 16, 0)
+	bn.Output = func(now sim.Time, p *Packet) {}
+	pkts := make([]Packet, 64)
+	for i := range pkts {
+		pkts[i] = Packet{Size: 1500, Service: i % 2, Seq: int64(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn.Enqueue(eng.Now(), &pkts[i%len(pkts)])
+		if i%4 == 0 {
+			eng.Step()
+		}
+	}
+}

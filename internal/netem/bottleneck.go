@@ -89,6 +89,17 @@ type Bottleneck struct {
 
 	// DropHook, when set, observes every drop-tail loss (used by traces).
 	DropHook func(now sim.Time, p *Packet)
+	// EnqueueHook, DequeueHook, and DeliverHook observe the remaining
+	// stages of the packet lifecycle: admission to the drop-tail queue,
+	// start of serialization, and hand-off to Output after the downstream
+	// propagation delay. Together with DropHook they expose the complete
+	// per-packet event stream the golden-trace conformance corpus
+	// (internal/sim/golden) records and replays; any engine or queue
+	// optimization must leave this stream byte-identical. DeliverHook only
+	// fires when Output is set — without a consumer there is no delivery.
+	EnqueueHook func(now sim.Time, p *Packet)
+	DequeueHook func(now sim.Time, p *Packet)
+	DeliverHook func(now sim.Time, p *Packet)
 }
 
 // NewBottleneck builds a bottleneck on the given engine.
@@ -150,6 +161,9 @@ func (b *Bottleneck) Enqueue(now sim.Time, p *Packet) {
 	b.queue[(b.head+b.qlen)%b.Capacity] = p
 	b.qlen++
 	b.perService[p.Service]++
+	if b.EnqueueHook != nil {
+		b.EnqueueHook(now, p)
+	}
 	if !b.busy {
 		b.transmitNext(now)
 	}
@@ -169,13 +183,21 @@ func (b *Bottleneck) transmitNext(now sim.Time) {
 
 	st := &b.stats[p.Service]
 	st.QueueDelaySum += now - p.enqueuedAt
+	if b.DequeueHook != nil {
+		b.DequeueHook(now, p)
+	}
 
 	ser := b.SerializationDelay(p.Size)
 	b.eng.After(ser, func(done sim.Time) {
 		st.DeliveredPackets++
 		st.DeliveredBytes += int64(p.Size)
 		if b.Output != nil {
-			b.eng.After(b.DownstreamDelay, func(at sim.Time) { b.Output(at, p) })
+			b.eng.After(b.DownstreamDelay, func(at sim.Time) {
+				if b.DeliverHook != nil {
+					b.DeliverHook(at, p)
+				}
+				b.Output(at, p)
+			})
 		}
 		b.transmitNext(done)
 	})

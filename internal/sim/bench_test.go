@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineDispatch measures the bare schedule+dispatch round trip:
+// a single self-rescheduling event, so every iteration is one heap push,
+// one heap pop, and one callback. This is the loop every virtual packet
+// crosses at least twice; its allocs/op must be zero (the regression gate
+// in scripts/bench.sh -check enforces that against BENCH_sim.json).
+func BenchmarkEngineDispatch(b *testing.B) {
+	e := NewEngine()
+	var tick Event
+	tick = func(now Time) { e.After(Microsecond, tick) }
+	e.After(Microsecond, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineDeepHeap measures dispatch with 4096 events pending —
+// the regime a busy experiment (hundreds of in-flight packets, timers,
+// samplers) actually runs in, where heap arity and comparison count
+// dominate.
+func BenchmarkEngineDeepHeap(b *testing.B) {
+	e := NewEngine()
+	var tick Event
+	tick = func(now Time) { e.After(Millisecond, tick) }
+	for i := 0; i < 4096; i++ {
+		e.After(Time(i)*Microsecond, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineTimerChurn measures the arm/cancel cycle transport flows
+// perform on every ACK (RTO re-arm) and every paced send.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	// Keep the clock moving so deadlines stay in the future.
+	var tick Event
+	tick = func(now Time) { e.After(Microsecond, tick) }
+	e.After(Microsecond, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := e.AfterTimer(Millisecond, fn)
+		t.Stop()
+		e.Step()
+	}
+}

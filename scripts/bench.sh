@@ -1,54 +1,186 @@
 #!/usr/bin/env bash
-# Runs the parallel-matrix benchmark (BenchmarkMatrixParallel) at 1, 2,
-# 4, and 8 workers and emits BENCH_parallel.json at the repo root:
-# ns/op and trials/sec per worker count, plus speedup relative to the
-# serial run, annotated with the host's GOMAXPROCS and CPU count.
+# Benchmark driver. Three modes:
 #
-# Speedup is hardware-dependent: the matrix fans pairs out across OS
-# threads, so gains cap at min(workers, GOMAXPROCS, CPUs). On a 1-CPU
-# host every worker count measures the same serial throughput plus pool
-# overhead — the JSON records whatever this machine honestly measured.
+#   scripts/bench.sh [benchtime]   parallel-matrix benchmark (BenchmarkMatrixParallel)
+#                                  -> BENCH_parallel.json (ns/op and trials/sec per
+#                                  worker count, speedup vs serial)
 #
-# Usage: scripts/bench.sh [benchtime]   (default 3x)
+#   scripts/bench.sh sim [benchtime]
+#                                  hot-path benchmarks (BenchmarkEngine*,
+#                                  BenchmarkBottleneck*) -> BENCH_sim.json, one JSON
+#                                  object per line with the pre-optimization baseline
+#                                  (scripts/bench_baseline_sim.json) and the speedup
+#                                  against it
+#
+#   scripts/bench.sh -check        regression gate: re-run the hot-path benchmarks
+#                                  (-count=3, min per benchmark) and fail if any
+#                                  ns/op regresses more than 10% over the committed
+#                                  BENCH_sim.json, or any allocs/op exceeds it
+#
+# Speedup in parallel mode is hardware-dependent: the matrix fans pairs out
+# across OS threads, so gains cap at min(workers, GOMAXPROCS, CPUs). On a
+# 1-CPU host every worker count measures the same serial throughput plus
+# pool overhead — the JSON records whatever this machine honestly measured.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${1:-3x}"
-OUT="BENCH_parallel.json"
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+SIM_PKGS="./internal/sim ./internal/netem"
+SIM_PATTERN='BenchmarkEngine|BenchmarkBottleneck'
+SIM_OUT="BENCH_sim.json"
+SIM_BASELINE="scripts/bench_baseline_sim.json"
 
-go test ./internal/core/ -run '^$' -bench '^BenchmarkMatrixParallel$' \
-    -benchtime "$BENCHTIME" -count=1 | tee "$RAW"
-
-awk -v gomaxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}" \
-    -v cpus="$(getconf _NPROCESSORS_ONLN)" \
-    -v benchtime="$BENCHTIME" '
-/^BenchmarkMatrixParallel\/workers=/ {
-    split($1, parts, "=");
-    sub(/[ \t-].*$/, "", parts[2]);
-    w = parts[2] + 0;
-    nsop[w] = $3 + 0;
-    for (i = 4; i <= NF; i++) if ($(i+1) == "trials/s") tps[w] = $i + 0;
-    if (!(w in seen)) { order[++n] = w; seen[w] = 1 }
+# json_field FILE BENCH FIELD — pull a numeric field out of a line-oriented
+# JSON file ({"benchmark":"Name",...} per line). Prints nothing if absent.
+json_field() {
+    awk -v bench="$2" -v field="$3" '
+        index($0, "\"benchmark\":\"" bench "\"") {
+            if (match($0, "\"" field "\":[0-9.]+")) {
+                v = substr($0, RSTART, RLENGTH)
+                sub(/^[^:]*:/, "", v)
+                print v
+            }
+        }' "$1"
 }
-END {
-    printf "{\n"
-    printf "  \"benchmark\": \"BenchmarkMatrixParallel\",\n"
-    printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"gomaxprocs\": %d,\n", gomaxprocs
-    printf "  \"cpus\": %d,\n", cpus
-    printf "  \"note\": \"speedup is bounded by min(workers, cpus); on a 1-CPU host all worker counts measure serial throughput plus pool overhead\",\n"
-    printf "  \"results\": [\n"
-    for (i = 1; i <= n; i++) {
-        w = order[i]
-        speedup = (nsop[w] > 0) ? nsop[order[1]] / nsop[w] : 0
-        printf "    {\"workers\": %d, \"ns_per_op\": %.0f, \"trials_per_sec\": %.2f, \"speedup_vs_serial\": %.3f}%s\n", \
-            w, nsop[w], tps[w], speedup, (i < n ? "," : "")
-    }
-    printf "  ]\n}\n"
-}' "$RAW" > "$OUT"
 
-echo
-echo "wrote $OUT:"
-cat "$OUT"
+# run_sim_bench COUNT BENCHTIME RAWFILE — run the hot-path benchmarks and
+# reduce to "name ns_op bytes_op allocs_op simsec_wallsec" lines, taking the
+# min ns/op (max simsec/wallsec) across repetitions.
+run_sim_bench() {
+    local raw="$3"
+    go test -run '^$' -bench "$SIM_PATTERN" -benchtime "$2" -count="$1" \
+        $SIM_PKGS | tee /dev/stderr | awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = by = al = -1; sw = -1
+        for (i = 2; i < NF; i++) {
+            if ($(i+1) == "ns/op") ns = $i + 0
+            if ($(i+1) == "B/op") by = $i + 0
+            if ($(i+1) == "allocs/op") al = $i + 0
+            if ($(i+1) == "simsec/wallsec") sw = $i + 0
+        }
+        if (!(name in best) || ns < best[name]) best[name] = ns
+        if (by >= 0) bytes[name] = by
+        if (al >= 0) allocs[name] = al
+        if (sw >= 0 && (!(name in sweep) || sw > sweep[name])) sweep[name] = sw
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+    END {
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            printf "%s %.2f %d %d %.1f\n", name, best[name], bytes[name], allocs[name], \
+                (name in sweep ? sweep[name] : -1)
+        }
+    }' > "$raw"
+}
+
+sim_mode() {
+    local benchtime="${1:-1s}"
+    RAWTMP="$(mktemp)"
+    trap 'rm -f "$RAWTMP"' EXIT
+    local raw="$RAWTMP"
+    run_sim_bench 3 "$benchtime" "$raw"
+    : > "$SIM_OUT"
+    while read -r name ns by al sw; do
+        base_ns="$(json_field "$SIM_BASELINE" "$name" ns_op)"
+        base_al="$(json_field "$SIM_BASELINE" "$name" allocs_op)"
+        line="{\"benchmark\":\"$name\",\"ns_op\":$ns,\"bytes_op\":$by,\"allocs_op\":$al"
+        if [ "${sw%.*}" != "-1" ]; then
+            line="$line,\"simsec_wallsec\":$sw"
+        fi
+        if [ -n "$base_ns" ]; then
+            speedup="$(awk -v b="$base_ns" -v c="$ns" 'BEGIN { printf "%.2f", (c > 0 ? b / c : 0) }')"
+            line="$line,\"baseline_ns_op\":$base_ns,\"baseline_allocs_op\":${base_al:-0},\"speedup\":$speedup"
+        fi
+        echo "$line}" >> "$SIM_OUT"
+    done < "$raw"
+    echo
+    echo "wrote $SIM_OUT:"
+    cat "$SIM_OUT"
+}
+
+check_mode() {
+    [ -f "$SIM_OUT" ] || { echo "bench: no committed $SIM_OUT to check against; run 'scripts/bench.sh sim' first" >&2; exit 1; }
+    local fail=0
+    RAWTMP="$(mktemp)"
+    trap 'rm -f "$RAWTMP"' EXIT
+    local raw="$RAWTMP"
+    run_sim_bench 3 1s "$raw"
+    while read -r name ns by al sw; do
+        ref_ns="$(json_field "$SIM_OUT" "$name" ns_op)"
+        ref_al="$(json_field "$SIM_OUT" "$name" allocs_op)"
+        if [ -z "$ref_ns" ]; then
+            echo "bench-check: $name has no entry in $SIM_OUT (re-run 'scripts/bench.sh sim')" >&2
+            fail=1
+            continue
+        fi
+        if awk -v c="$ns" -v r="$ref_ns" 'BEGIN { exit !(c > 1.10 * r) }'; then
+            echo "bench-check: $name regressed: $ns ns/op > 1.10 x committed $ref_ns" >&2
+            fail=1
+        fi
+        if [ "$al" -gt "${ref_al:-0}" ]; then
+            echo "bench-check: $name allocates more: $al allocs/op > committed ${ref_al:-0}" >&2
+            fail=1
+        fi
+    done < "$raw"
+    if [ "$fail" -ne 0 ]; then
+        echo "bench-check: FAILED (hot path regressed vs committed $SIM_OUT)" >&2
+        exit 1
+    fi
+    echo "bench-check: OK (all hot-path benchmarks within 10% of committed $SIM_OUT, allocs at or below)"
+}
+
+parallel_mode() {
+    local benchtime="${1:-3x}"
+    local out="BENCH_parallel.json"
+    RAWTMP="$(mktemp)"
+    trap 'rm -f "$RAWTMP"' EXIT
+    local raw="$RAWTMP"
+
+    go test ./internal/core/ -run '^$' -bench '^BenchmarkMatrixParallel$' \
+        -benchtime "$benchtime" -count=1 | tee "$raw"
+
+    awk -v gomaxprocs="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}" \
+        -v cpus="$(getconf _NPROCESSORS_ONLN)" \
+        -v benchtime="$benchtime" '
+    /^BenchmarkMatrixParallel\/workers=/ {
+        split($1, parts, "=");
+        sub(/[ \t-].*$/, "", parts[2]);
+        w = parts[2] + 0;
+        nsop[w] = $3 + 0;
+        for (i = 4; i <= NF; i++) if ($(i+1) == "trials/s") tps[w] = $i + 0;
+        if (!(w in seen)) { order[++n] = w; seen[w] = 1 }
+    }
+    END {
+        printf "{\n"
+        printf "  \"benchmark\": \"BenchmarkMatrixParallel\",\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"gomaxprocs\": %d,\n", gomaxprocs
+        printf "  \"cpus\": %d,\n", cpus
+        printf "  \"note\": \"speedup is bounded by min(workers, cpus); on a 1-CPU host all worker counts measure serial throughput plus pool overhead\",\n"
+        printf "  \"results\": [\n"
+        for (i = 1; i <= n; i++) {
+            w = order[i]
+            speedup = (nsop[w] > 0) ? nsop[order[1]] / nsop[w] : 0
+            printf "    {\"workers\": %d, \"ns_per_op\": %.0f, \"trials_per_sec\": %.2f, \"speedup_vs_serial\": %.3f}%s\n", \
+                w, nsop[w], tps[w], speedup, (i < n ? "," : "")
+        }
+        printf "  ]\n}\n"
+    }' "$raw" > "$out"
+
+    echo
+    echo "wrote $out:"
+    cat "$out"
+}
+
+case "${1:-}" in
+sim)
+    sim_mode "${2:-1s}"
+    ;;
+-check)
+    check_mode
+    ;;
+*)
+    parallel_mode "${1:-3x}"
+    ;;
+esac
