@@ -87,6 +87,25 @@ type Bottleneck struct {
 	samples     []OccupancySample
 	sampling    bool
 
+	// serDoneEv and deliverEv are the two hot-path callbacks, prebound once
+	// at construction and scheduled with AfterArg carrying the packet: the
+	// steady-state forwarding loop allocates no closures.
+	serDoneEv sim.ArgEvent
+	deliverEv sim.ArgEvent
+
+	// memoSize/memoRate/memoSer memoize SerializationDelay for the common
+	// case of back-to-back same-size packets (MTU-filled bulk flows). The
+	// memo caches the exact integer-division result, so hits and misses are
+	// indistinguishable to the simulation.
+	memoSize int
+	memoRate int64
+	memoSer  sim.Time
+
+	// release, when set, receives packets the bottleneck consumes without
+	// handing to Output (drop-tail losses, and deliveries with no Output
+	// wired). The owning testbed points it at its packet pool.
+	release func(*Packet)
+
 	// DropHook, when set, observes every drop-tail loss (used by traces).
 	DropHook func(now sim.Time, p *Packet)
 	// EnqueueHook, DequeueHook, and DeliverHook observe the remaining
@@ -110,13 +129,16 @@ func NewBottleneck(eng *sim.Engine, rateBps int64, capacityPkts int, downstream 
 	if capacityPkts <= 0 {
 		panic(fmt.Sprintf("netem: non-positive queue capacity %d", capacityPkts))
 	}
-	return &Bottleneck{
+	b := &Bottleneck{
 		eng:             eng,
 		RateBps:         rateBps,
 		Capacity:        capacityPkts,
 		DownstreamDelay: downstream,
 		queue:           make([]*Packet, capacityPkts),
 	}
+	b.serDoneEv = b.serDone
+	b.deliverEv = b.deliver
+	return b
 }
 
 // SetRate changes the link speed mid-simulation (chaos bandwidth
@@ -155,6 +177,9 @@ func (b *Bottleneck) Enqueue(now sim.Time, p *Packet) {
 		if b.DropHook != nil {
 			b.DropHook(now, p)
 		}
+		if b.release != nil {
+			b.release(p)
+		}
 		return
 	}
 	p.enqueuedAt = now
@@ -187,20 +212,40 @@ func (b *Bottleneck) transmitNext(now sim.Time) {
 		b.DequeueHook(now, p)
 	}
 
-	ser := b.SerializationDelay(p.Size)
-	b.eng.After(ser, func(done sim.Time) {
-		st.DeliveredPackets++
-		st.DeliveredBytes += int64(p.Size)
-		if b.Output != nil {
-			b.eng.After(b.DownstreamDelay, func(at sim.Time) {
-				if b.DeliverHook != nil {
-					b.DeliverHook(at, p)
-				}
-				b.Output(at, p)
-			})
-		}
-		b.transmitNext(done)
-	})
+	ser := b.memoSer
+	if p.Size != b.memoSize || b.RateBps != b.memoRate {
+		ser = b.SerializationDelay(p.Size)
+		b.memoSize, b.memoRate, b.memoSer = p.Size, b.RateBps, ser
+	}
+	b.eng.AfterArg(ser, b.serDoneEv, p)
+}
+
+// serDone fires when the serializer finishes putting p on the wire: it
+// books the delivery, hands the packet downstream, and starts the next
+// transmission. Delivery is scheduled before the next serialization so
+// same-instant events keep their pre-optimization FIFO order (the golden
+// corpus pins it).
+func (b *Bottleneck) serDone(done sim.Time, arg any) {
+	p := arg.(*Packet)
+	st := &b.stats[p.Service]
+	st.DeliveredPackets++
+	st.DeliveredBytes += int64(p.Size)
+	if b.Output != nil {
+		b.eng.AfterArg(b.DownstreamDelay, b.deliverEv, p)
+	} else if b.release != nil {
+		b.release(p)
+	}
+	b.transmitNext(done)
+}
+
+// deliver fires after the downstream propagation delay and hands the
+// packet to the Output consumer, which assumes ownership.
+func (b *Bottleneck) deliver(at sim.Time, arg any) {
+	p := arg.(*Packet)
+	if b.DeliverHook != nil {
+		b.DeliverHook(at, p)
+	}
+	b.Output(at, p)
 }
 
 // StartSampling begins recording the queue occupancy time series with the

@@ -75,6 +75,18 @@ type Testbed struct {
 	noise *noiseInjector
 	rng   *sim.RNG
 
+	// pool recycles Packet objects through the dumbbell. The testbed owns
+	// the packet lifecycle: substrates allocate with AllocPacket, and the
+	// testbed releases at every terminal point (upstream drops, drop-tail
+	// losses via the bottleneck, and after the receiving endpoint handler
+	// returns). Handlers must not retain packets past their call.
+	pool sim.Pool[Packet]
+
+	// arriveEv and ackEv are the prebound per-packet events for the
+	// upstream and ACK-return hops; see Bottleneck for the pattern.
+	arriveEv sim.ArgEvent
+	ackEv    sim.ArgEvent
+
 	// UpstreamJitter is the maximum uniform per-packet delay jitter on
 	// the server→switch hop. Real Internet paths exhibit millisecond
 	// jitter; without it a deterministic simulator gives the flow that
@@ -129,11 +141,23 @@ func NewTestbed(eng *sim.Engine, cfg Config, rng *sim.RNG) *Testbed {
 	}
 	tb.Bneck = NewBottleneck(eng, cfg.RateBps, cfg.queueCapacity(), down)
 	tb.Bneck.Output = tb.deliverToClient
+	tb.Bneck.release = tb.ReleasePacket
+	tb.arriveEv = tb.arrive
+	tb.ackEv = tb.ackArrive
 	if cfg.Noise != nil {
 		tb.noise = newNoiseInjector(eng, rng, *cfg.Noise)
 	}
 	return tb
 }
+
+// AllocPacket returns a zeroed packet from the testbed's pool. Substrates
+// on the hot path (transport flows, RTC media sources) use this instead of
+// allocating, and must hand the packet back to the testbed (SendData or
+// SendAck) or release it.
+func (tb *Testbed) AllocPacket() *Packet { return tb.pool.Get() }
+
+// ReleasePacket recycles a packet. Callers must not retain it afterwards.
+func (tb *Testbed) ReleasePacket(p *Packet) { tb.pool.Put(p) }
 
 // RegisterFlow adds a transport flow owned by experiment slot service.
 // toClient receives data packets after the bottleneck; toServer receives
@@ -154,10 +178,12 @@ func (tb *Testbed) SendData(now sim.Time, p *Packet) {
 	tb.upstreamSent++
 	if now < tb.linkDownUntil {
 		tb.ChaosDrops++
+		tb.pool.Put(p)
 		return
 	}
 	if tb.noise != nil && tb.noise.drops(now) {
 		tb.ExternalDrops++
+		tb.pool.Put(p)
 		return
 	}
 	delay := tb.upstreamDelay
@@ -172,9 +198,13 @@ func (tb *Testbed) SendData(now sim.Time, p *Packet) {
 		}
 		tb.lastArrival[fid] = arrival
 	}
-	tb.Eng.Schedule(arrival, func(at sim.Time) {
-		tb.Bneck.Enqueue(at, p)
-	})
+	tb.Eng.ScheduleArg(arrival, tb.arriveEv, p)
+}
+
+// arrive fires when a data packet reaches the switch after the upstream
+// hop; the bottleneck takes ownership.
+func (tb *Testbed) arrive(at sim.Time, arg any) {
+	tb.Bneck.Enqueue(at, arg.(*Packet))
 }
 
 func (tb *Testbed) deliverToClient(now sim.Time, p *Packet) {
@@ -182,6 +212,7 @@ func (tb *Testbed) deliverToClient(now sim.Time, p *Packet) {
 	if ep.toClient != nil {
 		ep.toClient(now, p)
 	}
+	tb.pool.Put(p)
 }
 
 // SendAck returns an acknowledgement from the client to the server of
@@ -191,15 +222,25 @@ func (tb *Testbed) deliverToClient(now sim.Time, p *Packet) {
 func (tb *Testbed) SendAck(now sim.Time, p *Packet) {
 	ep := tb.flows[p.FlowID]
 	if ep.toServer == nil {
+		tb.pool.Put(p)
 		return
 	}
 	at := now + tb.ackDelay
 	if stall := tb.stallUntil[ep.service]; at < stall {
 		at = stall
 	}
-	tb.Eng.Schedule(at, func(at sim.Time) {
+	tb.Eng.ScheduleArg(at, tb.ackEv, p)
+}
+
+// ackArrive fires when an ACK reaches the server. The endpoint is looked
+// up at fire time (flows is append-only, so the lookup is equivalent to
+// capture-at-send) and the packet is recycled after the handler returns.
+func (tb *Testbed) ackArrive(at sim.Time, arg any) {
+	p := arg.(*Packet)
+	if ep := tb.flows[p.FlowID]; ep.toServer != nil {
 		ep.toServer(at, p)
-	})
+	}
+	tb.pool.Put(p)
 }
 
 // SetLinkDown blackholes all upstream packets until the given virtual

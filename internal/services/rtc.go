@@ -194,15 +194,14 @@ func (r *rtcInstance) sendFrame(now sim.Time) {
 	frame := r.frameID
 	r.frameID++
 	for i := 0; i < pkts; i++ {
-		p := &netem.Packet{
-			FlowID:       r.flowID,
-			Service:      r.env.Slot,
-			Size:         r.svc.PacketBytes,
-			Seq:          r.nextSeq,
-			SentAt:       now,
-			Frame:        frame,
-			FramePackets: pkts,
-		}
+		p := r.env.TB.AllocPacket()
+		p.FlowID = r.flowID
+		p.Service = r.env.Slot
+		p.Size = r.svc.PacketBytes
+		p.Seq = r.nextSeq
+		p.SentAt = now
+		p.Frame = frame
+		p.FramePackets = pkts
 		r.nextSeq++
 		r.sentPkts++
 		r.intSent++

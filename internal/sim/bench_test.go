@@ -38,10 +38,13 @@ func BenchmarkEngineDeepHeap(b *testing.B) {
 }
 
 // BenchmarkEngineTimerChurn measures the arm/cancel cycle transport flows
-// perform on every ACK (RTO re-arm) and every paced send.
+// perform on every ACK (RTO re-arm) and every paced send: one reusable
+// timer, Reset and Stopped per operation, as Flow does with its pacing
+// and RTO timers.
 func BenchmarkEngineTimerChurn(b *testing.B) {
 	e := NewEngine()
 	fn := func(Time) {}
+	t := e.NewTimer()
 	// Keep the clock moving so deadlines stay in the future.
 	var tick Event
 	tick = func(now Time) { e.After(Microsecond, tick) }
@@ -49,7 +52,7 @@ func BenchmarkEngineTimerChurn(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		t := e.AfterTimer(Millisecond, fn)
+		t.Reset(Millisecond, fn)
 		t.Stop()
 		e.Step()
 	}

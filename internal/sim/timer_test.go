@@ -1,0 +1,105 @@
+package sim
+
+import "testing"
+
+// TestTimerCancelLeavesNoHeapEntry is the regression test for the
+// cancel-before-fire leak: a stopped timer's heap entry must be removed
+// eagerly, not left to rot until its deadline. Transport flows re-arm
+// their RTO on every ACK, so a lazy-cancel scheme would grow the heap
+// with one dead entry per ACK and drag every subsequent sift through
+// them.
+func TestTimerCancelLeavesNoHeapEntry(t *testing.T) {
+	e := NewEngine()
+	fn := func(Time) {}
+	const n = 1000
+	timers := make([]*Timer, n)
+	for i := range timers {
+		timers[i] = e.AfterTimer(Time(i+1)*Millisecond, fn)
+	}
+	if got := e.Pending(); got != n {
+		t.Fatalf("Pending() = %d after arming %d timers", got, n)
+	}
+	for _, tm := range timers {
+		if !tm.Stop() {
+			t.Fatal("Stop reported timer already inactive")
+		}
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after stopping every timer; cancelled entries leaked in the heap", got)
+	}
+	// Churn: repeated arm/cancel through one reusable timer must not
+	// accumulate entries either.
+	tm := e.NewTimer()
+	for i := 0; i < 10_000; i++ {
+		tm.Reset(Millisecond, fn)
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after 10k Resets of one timer, want 1", got)
+	}
+	tm.Stop()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after final Stop", got)
+	}
+}
+
+// TestTimerResetSemantics pins the reusable-timer contract: Reset re-arms
+// (cancelling any pending arm), the callback fires at the new deadline
+// only, and a fired timer reports not-pending and can be re-armed.
+func TestTimerResetSemantics(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	tm := e.NewTimer()
+	if tm.Pending() {
+		t.Fatal("fresh timer reports pending")
+	}
+	tm.Reset(5*Millisecond, func(now Time) { fired = append(fired, now) })
+	tm.Reset(9*Millisecond, func(now Time) { fired = append(fired, now) })
+	if !tm.Pending() {
+		t.Fatal("armed timer not pending")
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != 9*Millisecond {
+		t.Fatalf("fired = %v, want exactly one firing at 9ms", fired)
+	}
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	// Re-arm after firing.
+	tm.Reset(Millisecond, func(now Time) { fired = append(fired, now) })
+	e.Run()
+	if len(fired) != 2 || fired[1] != 10*Millisecond {
+		t.Fatalf("fired = %v, want second firing at 10ms", fired)
+	}
+}
+
+// TestTimerStopMidHeap stops timers from the middle of a populated heap
+// and verifies the survivors still fire in deadline order — the index
+// bookkeeping under remove() is what keeps Stop O(log n) and correct.
+func TestTimerStopMidHeap(t *testing.T) {
+	e := NewEngine()
+	const n = 64
+	var fired []int
+	timers := make([]*Timer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = e.AfterTimer(Time(n-i)*Millisecond, func(Time) { fired = append(fired, i) })
+	}
+	for i := 0; i < n; i += 2 {
+		timers[i].Stop()
+	}
+	e.Run()
+	if len(fired) != n/2 {
+		t.Fatalf("fired %d callbacks, want %d", len(fired), n/2)
+	}
+	// Deadline of timer i is (n-i)ms, so survivors fire in descending i.
+	for k := 1; k < len(fired); k++ {
+		if fired[k] >= fired[k-1] {
+			t.Fatalf("firing order broken at %d: %v", k, fired)
+		}
+	}
+	for _, i := range fired {
+		if i%2 == 0 {
+			t.Fatalf("stopped timer %d fired", i)
+		}
+	}
+}

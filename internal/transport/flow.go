@@ -64,8 +64,10 @@ type message struct {
 	onDone func(now sim.Time)
 }
 
-// pktMeta is the sender's per-packet bookkeeping.
+// pktMeta is the sender's per-packet bookkeeping. seq and present are
+// metaRing bookkeeping: entries live by value in the ring's slot array.
 type pktMeta struct {
+	seq           int64
 	sentAt        sim.Time
 	delivered     int64    // sender's delivered counter at send time
 	deliveredTime sim.Time // timestamp of that counter
@@ -73,6 +75,7 @@ type pktMeta struct {
 	retransmitted bool
 	acked         bool
 	lost          bool
+	present       bool
 }
 
 // Flow is one reliable transport connection between a service's server
@@ -89,12 +92,17 @@ type Flow struct {
 	// Sender state.
 	nextSeq    int64
 	cumAck     int64
-	sent       map[int64]*pktMeta
+	sent       metaRing
 	inflight   int
 	rtxQueue   []int64
 	lossScan   int64 // seqs below this have been loss-checked
 	nextSendAt sim.Time
 	paceTimer  *sim.Timer
+
+	// trySendEv and onRTOEv are the flow's two timer callbacks, bound once
+	// at construction so each pacing arm and RTO re-arm is allocation-free.
+	trySendEv sim.Event
+	onRTOEv   sim.Event
 
 	// App data.
 	bulk        bool
@@ -156,9 +164,12 @@ func NewFlow(tb *netem.Testbed, service int, alg cca.Algorithm, opts Options) *F
 		opts:    opts.withDefaults(),
 		alg:     alg,
 		service: service,
-		sent:    make(map[int64]*pktMeta),
 		rcvOOO:  make(map[int64]bool),
 	}
+	f.paceTimer = tb.Eng.NewTimer()
+	f.rtoTimer = tb.Eng.NewTimer()
+	f.trySendEv = f.trySend
+	f.onRTOEv = f.onRTO
 	f.id = tb.RegisterFlow(service, f.onDataAtClient, f.onAckAtServer)
 	return f
 }
@@ -271,7 +282,7 @@ func (f *Flow) trySend(now sim.Time) {
 		}
 		if rate > 0 && now < f.nextSendAt {
 			if !f.paceTimer.Pending() {
-				f.paceTimer = f.eng.AfterTimer(f.nextSendAt-now, f.trySend)
+				f.paceTimer.Reset(f.nextSendAt-now, f.trySendEv)
 			}
 			return
 		}
@@ -302,7 +313,7 @@ func (f *Flow) sendNew(now sim.Time) {
 func (f *Flow) sendRetransmit(now sim.Time) {
 	seq := f.rtxQueue[0]
 	f.rtxQueue = f.rtxQueue[1:]
-	if m, ok := f.sent[seq]; !ok || m.acked {
+	if m := f.sent.get(seq); m == nil || m.acked {
 		return // delivered in the meantime
 	}
 	f.Retransmits++
@@ -312,29 +323,26 @@ func (f *Flow) sendRetransmit(now sim.Time) {
 
 func (f *Flow) transmit(now sim.Time, seq int64, retx bool) {
 	throttled := f.opts.ThrottleBps > 0
-	meta := &pktMeta{
-		sentAt:        now,
-		delivered:     f.delivered,
-		deliveredTime: f.deliveredTime,
-		appLimited:    seq < f.appLimitedUntil || throttled,
-		retransmitted: retx,
-	}
+	meta := f.sent.put(seq)
+	meta.sentAt = now
+	meta.delivered = f.delivered
+	meta.deliveredTime = f.deliveredTime
+	meta.appLimited = seq < f.appLimitedUntil || throttled
+	meta.retransmitted = retx
 	if f.deliveredTime == 0 {
 		meta.deliveredTime = now
 	}
-	f.sent[seq] = meta
 	f.inflight++
 
-	p := &netem.Packet{
-		FlowID:        f.id,
-		Service:       f.service,
-		Size:          f.opts.MSS,
-		Seq:           seq,
-		SentAt:        now,
-		Delivered:     meta.delivered,
-		DeliveredTime: meta.deliveredTime,
-		AppLimited:    meta.appLimited,
-	}
+	p := f.tb.AllocPacket()
+	p.FlowID = f.id
+	p.Service = f.service
+	p.Size = f.opts.MSS
+	p.Seq = seq
+	p.SentAt = now
+	p.Delivered = meta.delivered
+	p.DeliveredTime = meta.deliveredTime
+	p.AppLimited = meta.appLimited
 	f.tb.SendData(now, p)
 	f.armRTO(now)
 }
@@ -362,19 +370,18 @@ func (f *Flow) onDataAtClient(now sim.Time, p *netem.Packet) {
 	if f.opts.AckEvery > 1 && f.rcvCount%int64(f.opts.AckEvery) != 0 && p.Seq != f.rcvExpected-1 {
 		return
 	}
-	ack := &netem.Packet{
-		FlowID:        f.id,
-		Service:       f.service,
-		Size:          64,
-		IsAck:         true,
-		SentAt:        p.SentAt,
-		AckedSeq:      p.Seq,
-		CumAck:        f.rcvExpected,
-		HighestSeq:    f.rcvHighest,
-		Delivered:     p.Delivered,
-		DeliveredTime: p.DeliveredTime,
-		AppLimited:    p.AppLimited,
-	}
+	ack := f.tb.AllocPacket()
+	ack.FlowID = f.id
+	ack.Service = f.service
+	ack.Size = 64
+	ack.IsAck = true
+	ack.SentAt = p.SentAt
+	ack.AckedSeq = p.Seq
+	ack.CumAck = f.rcvExpected
+	ack.HighestSeq = f.rcvHighest
+	ack.Delivered = p.Delivered
+	ack.DeliveredTime = p.DeliveredTime
+	ack.AppLimited = p.AppLimited
 	f.tb.SendAck(now, ack)
 }
 
@@ -388,7 +395,7 @@ func (f *Flow) onAckAtServer(now sim.Time, p *netem.Packet) {
 	var sampleMeta *pktMeta
 
 	// Selective acknowledgement of the echoed packet.
-	if m, ok := f.sent[p.AckedSeq]; ok && !m.acked {
+	if m := f.sent.get(p.AckedSeq); m != nil && !m.acked {
 		m.acked = true
 		if !m.lost {
 			f.inflight--
@@ -402,7 +409,7 @@ func (f *Flow) onAckAtServer(now sim.Time, p *netem.Packet) {
 
 	// Cumulative advance: everything below CumAck is delivered.
 	for f.cumAck < p.CumAck {
-		if m, ok := f.sent[f.cumAck]; ok {
+		if m := f.sent.get(f.cumAck); m != nil {
 			if !m.acked {
 				m.acked = true
 				if !m.lost {
@@ -410,7 +417,7 @@ func (f *Flow) onAckAtServer(now sim.Time, p *netem.Packet) {
 				}
 				newly++
 			}
-			delete(f.sent, f.cumAck)
+			m.present = false
 		}
 		f.cumAck++
 	}
@@ -484,8 +491,8 @@ func (f *Flow) detectLosses(now sim.Time, highest int64) {
 	}
 	lost := 0
 	for seq := start; seq < limit; seq++ {
-		m, ok := f.sent[seq]
-		if !ok || m.acked || m.lost {
+		m := f.sent.get(seq)
+		if m == nil || m.acked || m.lost {
 			continue
 		}
 		m.lost = true
@@ -526,8 +533,8 @@ func (f *Flow) detectLostRetransmits(now sim.Time) {
 	kept := f.rtxOutstanding[:0]
 	relost := 0
 	for _, seq := range f.rtxOutstanding {
-		m, ok := f.sent[seq]
-		if !ok || m.acked {
+		m := f.sent.get(seq)
+		if m == nil || m.acked {
 			continue // delivered; drop from tracking
 		}
 		if now-m.sentAt <= deadline {
@@ -598,7 +605,7 @@ func (f *Flow) armRTO(now sim.Time) {
 	}
 	// First expiry is a tail probe, the next a full RTO.
 	f.probePending = true
-	f.rtoTimer = f.eng.AfterTimer(f.pto(), f.onRTO)
+	f.rtoTimer.Reset(f.pto(), f.onRTOEv)
 }
 
 // sendTailProbe retransmits the highest outstanding packet so the
@@ -606,7 +613,7 @@ func (f *Flow) armRTO(now sim.Time) {
 func (f *Flow) sendTailProbe(now sim.Time) {
 	var highest int64 = -1
 	for seq := f.nextSeq - 1; seq >= f.cumAck; seq-- {
-		if m, ok := f.sent[seq]; ok && !m.acked {
+		if m := f.sent.get(seq); m != nil && !m.acked {
 			highest = seq
 			break
 		}
@@ -616,7 +623,7 @@ func (f *Flow) sendTailProbe(now sim.Time) {
 	}
 	// The original copy is still nominally in flight; the probe replaces
 	// its bookkeeping entry, so release its inflight slot first.
-	if m := f.sent[highest]; !m.lost {
+	if m := f.sent.get(highest); !m.lost {
 		f.inflight--
 	}
 	f.TailProbes++
@@ -633,8 +640,7 @@ func (f *Flow) onRTO(now sim.Time) {
 		f.sendTailProbe(now)
 		// transmit() re-armed a PTO; replace it with a full RTO so a
 		// lost probe escalates instead of probing forever.
-		f.rtoTimer.Stop()
-		f.rtoTimer = f.eng.AfterTimer(f.rto(), f.onRTO)
+		f.rtoTimer.Reset(f.rto(), f.onRTOEv)
 		f.probePending = false
 		return
 	}
@@ -643,8 +649,8 @@ func (f *Flow) onRTO(now sim.Time) {
 	// Everything outstanding is presumed lost and must be retransmitted.
 	f.rtxQueue = f.rtxQueue[:0]
 	for seq := f.cumAck; seq < f.nextSeq; seq++ {
-		m, ok := f.sent[seq]
-		if !ok || m.acked {
+		m := f.sent.get(seq)
+		if m == nil || m.acked {
 			continue
 		}
 		if !m.lost {

@@ -1,0 +1,69 @@
+package transport
+
+// metaRing is the sender's per-packet bookkeeping store, replacing a
+// map[int64]*pktMeta on the hot path. Live entries always lie in the
+// window [cumAck, nextSeq), so a power-of-two slot array indexed by
+// seq&mask is collision-free as long as the array is at least the window
+// size; put grows it when the window catches up. Compared to the map this
+// removes the per-insert allocation and the hashing from every ACK.
+//
+// Slots are stored by value. put may grow (and therefore move) the array,
+// so callers must not hold a *pktMeta across a put call. del only clears
+// the present flag — fields of a just-deleted entry stay readable, which
+// onAckAtServer relies on when the cumulative advance deletes the entry
+// it is still sampling from.
+type metaRing struct {
+	slots []pktMeta
+	mask  int64
+}
+
+const metaRingInitial = 64
+
+// get returns the entry for seq, or nil when absent.
+func (r *metaRing) get(seq int64) *pktMeta {
+	if len(r.slots) == 0 {
+		return nil
+	}
+	m := &r.slots[seq&r.mask]
+	if m.present && m.seq == seq {
+		return m
+	}
+	return nil
+}
+
+// put returns a reset entry for seq, displacing nothing: the array grows
+// (doubling, rehashing live entries) until seq's slot is free or already
+// holds seq.
+func (r *metaRing) put(seq int64) *pktMeta {
+	if len(r.slots) == 0 {
+		r.slots = make([]pktMeta, metaRingInitial)
+		r.mask = metaRingInitial - 1
+	}
+	for {
+		m := &r.slots[seq&r.mask]
+		if !m.present || m.seq == seq {
+			*m = pktMeta{seq: seq, present: true}
+			return m
+		}
+		r.grow()
+	}
+}
+
+// del removes seq if present. Field values survive until the slot is
+// reused; only the present flag is cleared.
+func (r *metaRing) del(seq int64) {
+	if m := r.get(seq); m != nil {
+		m.present = false
+	}
+}
+
+func (r *metaRing) grow() {
+	old := r.slots
+	r.slots = make([]pktMeta, 2*len(old))
+	r.mask = int64(len(r.slots) - 1)
+	for i := range old {
+		if old[i].present {
+			r.slots[old[i].seq&r.mask] = old[i]
+		}
+	}
+}

@@ -39,6 +39,17 @@ done
 # pool, ordered merge, and shared fault ledger.
 go test -race -count=1 -timeout 10m -run 'Parallel|Determinism' ./internal/core
 
+# Fuzz smoke gate: ten seconds of randomized operation sequences against
+# the drop-tail queue's structural invariants (occupancy, FIFO, byte
+# conservation). Long exploratory campaigns run out-of-band; this catches
+# gross regressions on every CI pass.
+go test -run '^$' -fuzz '^FuzzBottleneckQueue$' -fuzztime=10s ./internal/netem
+
 # The race detector slows the simulation-heavy core tests well past the
 # default 10m per-package budget.
 go test -race -count=1 -timeout 45m ./...
+
+# Hot-path benchmark regression gate: re-runs the engine/bottleneck
+# microbenchmarks (min of 3) and fails on >10% ns/op regression or any
+# allocs/op increase versus the committed BENCH_sim.json.
+scripts/bench.sh -check
