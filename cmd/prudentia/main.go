@@ -36,7 +36,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -44,6 +46,7 @@ import (
 	"prudentia/internal/chaos"
 	"prudentia/internal/core"
 	"prudentia/internal/netem"
+	"prudentia/internal/obs"
 	"prudentia/internal/report"
 	"prudentia/internal/services"
 	"prudentia/internal/stats"
@@ -63,6 +66,13 @@ func main() {
 		chaosOn    = flag.Bool("chaos", false, "arm the deterministic fault-injection plan (all classes)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"parallel trial workers for calibrations and the pair matrix (1 = serial; output is byte-identical for any value)")
+		seed       = flag.Uint64("seed", 0, "base seed for the deterministic trial-seed sequence (0 = default)")
+		svcFilter  = flag.String("services", "", "comma-separated service names: restrict the catalog (exact match)")
+		metricsOut = flag.String("metrics-out", "", "write the metric snapshot here after every cycle (.json = JSON, else Prometheus text)")
+		timeline   = flag.String("timeline", "", "append the JSONL cycle timeline (trial/pair/checkpoint events) to this file")
+		manifest   = flag.String("manifest", "", "write the run manifest here after every cycle (default: manifest.json beside -timeline)")
+		pprofDir   = flag.String("pprof-dir", "", "capture cycle<N>.cpu.pprof and cycle<N>.heap.pprof profiles into this directory")
+		faultsOut  = flag.String("faults-out", "", "write the robustness fault ledger as JSONL here at exit")
 	)
 	flag.Parse()
 
@@ -77,9 +87,31 @@ func main() {
 	if *quick {
 		w.Opts = core.QuickOptions(w.Settings[0])
 	}
+	if *seed != 0 {
+		w.Opts.BaseSeed = *seed
+	}
 	if *chaosOn {
 		plan := chaos.Default()
 		w.Opts.Chaos = &plan
+	}
+	if *svcFilter != "" {
+		var keep []services.Service
+		for _, name := range strings.Split(*svcFilter, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, svc := range w.Services {
+				if svc.Name() == name {
+					keep = append(keep, svc)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "prudentia: -services: unknown service %q\n", name)
+				os.Exit(1)
+			}
+		}
+		w.Services = keep
 	}
 	if *verbose {
 		w.Progress = func(format string, args ...any) {
@@ -88,6 +120,62 @@ func main() {
 	}
 	ledger := &trace.FaultLedger{}
 	w.OnFault = ledger.Record
+
+	// Observability sinks: metric registry, JSONL timeline, run manifest,
+	// fault-ledger export. All optional; the watchdog runs uninstrumented
+	// (nil Obs) when no flag asks for them.
+	var reg *obs.Registry
+	var tl *obs.Timeline
+	manifestPath := *manifest
+	if manifestPath == "" && *timeline != "" {
+		manifestPath = filepath.Join(filepath.Dir(*timeline), "manifest.json")
+	}
+	if *metricsOut != "" || *timeline != "" || manifestPath != "" {
+		reg = obs.NewRegistry()
+	}
+	if *timeline != "" {
+		var err error
+		tl, err = obs.CreateTimeline(*timeline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prudentia: %v\n", err)
+			os.Exit(1)
+		}
+		defer tl.Close()
+	}
+	if reg != nil || tl != nil {
+		w.Obs = core.NewInstruments(reg, tl)
+	}
+	// exportObs flushes the metric snapshot and manifest; called after
+	// every cycle (and on interrupt, with cr == nil) so a killed watchdog
+	// still leaves reconciliation artifacts behind.
+	exportObs := func(cr *core.CycleResult) {
+		if *metricsOut != "" {
+			if err := writeMetrics(*metricsOut, reg.Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "prudentia: %v\n", err)
+			}
+		}
+		if manifestPath != "" {
+			if err := w.BuildManifest(cr, reg).Write(manifestPath); err != nil {
+				fmt.Fprintf(os.Stderr, "prudentia: %v\n", err)
+			}
+		}
+	}
+	writeFaults := func() {
+		if *faultsOut == "" {
+			return
+		}
+		f, err := os.Create(*faultsOut)
+		if err == nil {
+			err = trace.WriteFaultsJSONL(f, ledger.Snapshot())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prudentia: faults-out: %v\n", err)
+		}
+	}
+	defer writeFaults()
 
 	// Graceful shutdown: the first SIGINT/SIGTERM requests a stop at the
 	// next trial boundary (the checkpoint is flushed after every pair, so
@@ -133,8 +221,15 @@ func main() {
 
 	for cycle := 1; *cycles == 0 || cycle <= *cycles; cycle++ {
 		fmt.Printf("=== cycle %d (catalog: %d services) ===\n", cycle, len(w.Services))
+		stopProfiles, perr := startProfiles(*pprofDir, cycle)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "prudentia: %v\n", perr)
+			os.Exit(1)
+		}
 		cr, err := w.RunCycle()
+		stopProfiles()
 		if errors.Is(err, core.ErrInterrupted) {
+			exportObs(nil)
 			if *checkpoint != "" {
 				fmt.Printf("interrupted; cycle state saved to %s (resume with -resume)\n", *checkpoint)
 			} else {
@@ -146,6 +241,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "prudentia: cycle %d: %v\n", cycle, err)
 			os.Exit(1)
 		}
+		exportObs(cr)
 		for si, res := range cr.PerSetting {
 			cfg := w.Settings[si]
 			label := fmt.Sprintf("%.0f Mbps", float64(cfg.RateBps)/1e6)
@@ -154,7 +250,68 @@ func main() {
 		if s := ledger.Summary(); s != "" {
 			fmt.Printf("fault ledger: %s\n\n", s)
 		}
+		if *verbose && reg != nil {
+			fmt.Println(report.MetricsSummary(reg.Snapshot()))
+		}
 	}
+}
+
+// writeMetrics stores a snapshot at path, choosing the format by
+// extension: .json gets the JSON exposition, anything else the
+// Prometheus text format.
+func writeMetrics(path string, snap obs.Snapshot) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = snap.WriteJSON(f)
+	} else {
+		err = snap.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// startProfiles begins a CPU profile for one cycle and returns a stop
+// function that finishes it and captures a heap profile. With dir empty
+// it is a no-op.
+func startProfiles(dir string, cycle int) (func(), error) {
+	if dir == "" {
+		return func() {}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, fmt.Sprintf("cycle%d.cpu.pprof", cycle)))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpu.Close()
+		heap, err := os.Create(filepath.Join(dir, fmt.Sprintf("cycle%d.heap.pprof", cycle)))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prudentia: heap profile: %v\n", err)
+			return
+		}
+		runtime.GC() // get up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			fmt.Fprintf(os.Stderr, "prudentia: heap profile: %v\n", err)
+		}
+		heap.Close()
+	}, nil
 }
 
 func printCycle(res *core.MatrixResult, cr *core.CycleResult, si int, cfg netem.Config, label string, svcs []services.Service) {

@@ -224,6 +224,7 @@ func (c *Config) Arm(eng *sim.Engine, tb *netem.Testbed, rng *sim.RNG) {
 		r := rng.Split()
 		var next sim.Event
 		next = func(now sim.Time) {
+			tb.ChaosFlaps++
 			tb.SetLinkDown(now + r.Exp(c.FlapMeanLen))
 			eng.After(r.Exp(c.FlapMeanGap), next)
 		}
@@ -238,6 +239,7 @@ func (c *Config) Arm(eng *sim.Engine, tb *netem.Testbed, rng *sim.RNG) {
 		}
 		var next sim.Event
 		next = func(now sim.Time) {
+			tb.ChaosSags++
 			frac := minFrac + (1-minFrac)*r.Float64()
 			tb.Bneck.SetRate(int64(float64(orig) * frac))
 			eng.After(r.Exp(c.FluctMeanLen), func(sim.Time) { tb.Bneck.SetRate(orig) })
@@ -249,6 +251,7 @@ func (c *Config) Arm(eng *sim.Engine, tb *netem.Testbed, rng *sim.RNG) {
 		r := rng.Split()
 		var next sim.Event
 		next = func(now sim.Time) {
+			tb.ChaosStalls++
 			slot := r.Intn(netem.MaxServices)
 			tb.StallService(slot, now+r.Exp(c.StallMeanLen))
 			eng.After(r.Exp(c.StallMeanGap), next)

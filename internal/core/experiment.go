@@ -108,6 +108,69 @@ type TrialResult struct {
 	// QueueSeries and RateSeries are optional diagnostics.
 	QueueSeries []netem.OccupancySample
 	RateSeries  []metrics.RatePoint
+	// Obs is the trial's deterministic telemetry aggregate, scraped from
+	// the testbed after the run (never on the packet path). The obs
+	// layer folds it into the registry; because every field is a pure
+	// function of the seed, the fold is identical for any worker count.
+	Obs TrialObs `json:"obs"`
+}
+
+// TrialObs aggregates what one trial's private testbed observed: the
+// bottleneck ledger (whole-link totals over both slots), queue high
+// water, upstream loss processes, transport rare events, and chaos
+// episodes. It is deterministic in the trial seed — wall-clock timing
+// lives in the registry's "wall" metrics and the timeline, never here —
+// so it can ride on TrialResult through checkpoints and the parallel
+// merge without breaking byte-identical determinism.
+type TrialObs struct {
+	ArrivedPackets   int64 `json:"arrived_pkts"`
+	DroppedPackets   int64 `json:"dropped_pkts"`
+	DeliveredPackets int64 `json:"delivered_pkts"`
+	DeliveredBytes   int64 `json:"delivered_bytes"`
+	// OccupancyHighWater is the deepest bottleneck queue depth seen.
+	OccupancyHighWater int `json:"occupancy_high_water"`
+	// UpstreamSent/ExternalDrops/ChaosDrops mirror the testbed's
+	// upstream ledger (noise losses vs injected link-flap losses).
+	UpstreamSent  int64 `json:"upstream_sent"`
+	ExternalDrops int64 `json:"external_drops"`
+	ChaosDrops    int64 `json:"chaos_drops"`
+	// Transport rare-event totals across all flows of the trial.
+	Retransmits int64 `json:"retransmits"`
+	Timeouts    int64 `json:"timeouts"`
+	CwndEvents  int64 `json:"cwnd_events"`
+	TailProbes  int64 `json:"tail_probes"`
+	// Chaos episodes injected during the trial, by kind.
+	ChaosFlaps  int64 `json:"chaos_flaps"`
+	ChaosSags   int64 `json:"chaos_sags"`
+	ChaosStalls int64 `json:"chaos_stalls"`
+	// SimSeconds is the trial's simulated duration.
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// scrapeObs fills a TrialObs from a finished trial's testbed.
+func scrapeObs(tb *netem.Testbed, duration sim.Time) TrialObs {
+	o := TrialObs{
+		OccupancyHighWater: tb.Bneck.HighWater(),
+		UpstreamSent:       tb.UpstreamSentPackets(),
+		ExternalDrops:      tb.ExternalDrops,
+		ChaosDrops:         tb.ChaosDrops,
+		Retransmits:        tb.TransportRetransmits,
+		Timeouts:           tb.TransportTimeouts,
+		CwndEvents:         tb.TransportCwndEvents,
+		TailProbes:         tb.TransportTailProbes,
+		ChaosFlaps:         tb.ChaosFlaps,
+		ChaosSags:          tb.ChaosSags,
+		ChaosStalls:        tb.ChaosStalls,
+		SimSeconds:         duration.Seconds(),
+	}
+	for slot := 0; slot < netem.MaxServices; slot++ {
+		st := tb.Bneck.Stats(slot)
+		o.ArrivedPackets += st.ArrivedPackets
+		o.DroppedPackets += st.DroppedPackets
+		o.DeliveredPackets += st.DeliveredPackets
+		o.DeliveredBytes += st.DeliveredBytes
+	}
+	return o
 }
 
 // Validate checks a spec for structural errors.
@@ -212,6 +275,7 @@ func RunTrial(spec Spec) (TrialResult, error) {
 	window := spec.Duration - spec.Warmup - spec.Cooldown
 	res := TrialResult{ExternalLossRate: tb.ExternalLossRate()}
 	res.Discarded = res.ExternalLossRate > MaxExternalLoss
+	res.Obs = scrapeObs(tb, spec.Duration)
 
 	var win [2]metrics.WindowStats
 	for slot := 0; slot < 2; slot++ {

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"prudentia/internal/obs"
+)
+
+// BuildManifest assembles the per-cycle run manifest: the reproduction
+// recipe (seed scope, catalog, settings, worker count, chaos flag) plus
+// the registry snapshot at cycle end. cr may be nil (interrupted before
+// any setting completed); reg may be nil (empty metric snapshot).
+//
+// The snapshot's counters reconcile exactly with the cycle result:
+//
+//	prudentia_trials_completed_total == Σ len(PairOutcome.Trials)
+//	prudentia_netem_dropped_packets_total == Σ Trials[].Obs.DroppedPackets
+//
+// and so on for every netem/transport/chaos family, because those
+// families fold only counted pair trials (see Instruments).
+func (w *Watchdog) BuildManifest(cr *CycleResult, reg *obs.Registry) obs.Manifest {
+	m := obs.NewManifest()
+	m.Workers = w.Workers
+	m.BaseSeed = w.Opts.BaseSeed
+	m.ChaosEnabled = w.Opts.Chaos.Enabled()
+	for _, svc := range w.Services {
+		m.Services = append(m.Services, svc.Name())
+	}
+	m.Settings = w.Settings
+	if cr != nil {
+		m.Cycle = cr.Cycle
+	} else {
+		m.Cycle = len(w.cycles) + 1
+		m.Interrupted = true
+	}
+	if reg != nil {
+		m.Metrics = reg.Snapshot()
+	}
+	return m
+}

@@ -64,6 +64,11 @@ type Matrix struct {
 	// Progress, if non-nil, receives a line per completed pair (same
 	// ordering and goroutine guarantees as OnPair).
 	Progress func(format string, args ...any)
+
+	// Obs, if non-nil, receives live telemetry: trial/pair counters,
+	// duration histograms, and timeline events. Counter totals are
+	// deterministic for any worker count; see Instruments.
+	Obs *Instruments
 }
 
 // MatrixResult holds every pair outcome plus name indexing.
@@ -124,8 +129,10 @@ func (m *Matrix) fault(ev FaultEvent) {
 }
 
 // finish reports a pair that reached a final state and flushes it to
-// the checkpoint hook.
+// the checkpoint hook. Called on the canonical release path, so the
+// pair_done telemetry it produces is ordered for any worker count.
 func (m *Matrix) finish(st *pairState) {
+	m.Obs.pairDone(st)
 	if m.OnPair != nil {
 		m.OnPair(st.key, st.outcome)
 	}

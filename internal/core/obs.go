@@ -1,0 +1,277 @@
+package core
+
+import (
+	"time"
+
+	"prudentia/internal/obs"
+)
+
+// Instruments bundles the watchdog's telemetry sinks: a metric registry
+// and a cycle timeline. Handles are resolved once at construction so
+// the scheduler's hot loop performs only atomic adds; a nil
+// *Instruments (and a nil registry or timeline inside one) is a no-op
+// everywhere, keeping every instrumented path nil-safe and the
+// uninstrumented cost to a single branch.
+//
+// Metric semantics:
+//
+//   - prudentia_trials_*_total count every attempt the scheduler
+//     launches: started = completed + failed + discarded + corrupt
+//     (the manifest reconciliation identity; "trials run" equals
+//     started minus the retried duplicates).
+//   - prudentia_netem_*/prudentia_transport_*/prudentia_chaos_* fold the
+//     deterministic TrialObs aggregate of counted pair trials only — the
+//     traffic that enters the heatmaps — so they reconcile exactly with
+//     the published report (calibration traffic is counted separately).
+//   - Metrics with "wall" in the name (trial wall-time histogram, pool
+//     busy fraction) are the only nondeterministic ones; determinism
+//     tests compare snapshots through Snapshot.StripWallClock.
+type Instruments struct {
+	Registry *obs.Registry
+	Timeline *obs.Timeline
+
+	trialsStarted   *obs.Counter
+	trialsCompleted *obs.Counter
+	trialsFailed    *obs.Counter
+	failPanic       *obs.Counter
+	failError       *obs.Counter
+	trialsDiscarded *obs.Counter
+	trialsCorrupt   *obs.Counter
+	retries         *obs.Counter
+	quarantines     *obs.Counter
+	pairsCompleted  *obs.Counter
+	calibrations    *obs.Counter
+	checkpointSaves *obs.Counter
+
+	netemArrived   *obs.Counter
+	netemDropped   *obs.Counter
+	netemDelivered *obs.Counter
+	netemDelBytes  *obs.Counter
+	netemExternal  *obs.Counter
+	netemChaos     *obs.Counter
+	occupancyHigh  *obs.Gauge
+
+	transportRetx       *obs.Counter
+	transportTimeouts   *obs.Counter
+	transportCwndEvents *obs.Counter
+	transportTailProbes *obs.Counter
+
+	chaosFlaps  *obs.Counter
+	chaosSags   *obs.Counter
+	chaosStalls *obs.Counter
+
+	trialSim  *obs.Histogram
+	trialWall *obs.Histogram
+
+	poolBusy *obs.Gauge
+}
+
+// NewInstruments resolves all metric handles on reg (which may be nil)
+// and attaches the timeline (which may also be nil).
+func NewInstruments(reg *obs.Registry, tl *obs.Timeline) *Instruments {
+	return &Instruments{
+		Registry: reg,
+		Timeline: tl,
+
+		trialsStarted:   reg.Counter("prudentia_trials_started_total"),
+		trialsCompleted: reg.Counter("prudentia_trials_completed_total"),
+		trialsFailed:    reg.Counter("prudentia_trials_failed_total"),
+		failPanic:       reg.Counter(`prudentia_trial_failures_total{kind="panic"}`),
+		failError:       reg.Counter(`prudentia_trial_failures_total{kind="error"}`),
+		trialsDiscarded: reg.Counter("prudentia_trials_discarded_total"),
+		trialsCorrupt:   reg.Counter("prudentia_trials_corrupt_total"),
+		retries:         reg.Counter("prudentia_trial_retries_total"),
+		quarantines:     reg.Counter("prudentia_pair_quarantines_total"),
+		pairsCompleted:  reg.Counter("prudentia_pairs_completed_total"),
+		calibrations:    reg.Counter("prudentia_calibrations_total"),
+		checkpointSaves: reg.Counter("prudentia_checkpoint_saves_total"),
+
+		netemArrived:   reg.Counter("prudentia_netem_arrived_packets_total"),
+		netemDropped:   reg.Counter("prudentia_netem_dropped_packets_total"),
+		netemDelivered: reg.Counter("prudentia_netem_delivered_packets_total"),
+		netemDelBytes:  reg.Counter("prudentia_netem_delivered_bytes_total"),
+		netemExternal:  reg.Counter("prudentia_netem_external_drops_total"),
+		netemChaos:     reg.Counter("prudentia_netem_chaos_drops_total"),
+		occupancyHigh:  reg.Gauge("prudentia_netem_occupancy_high_water_packets"),
+
+		transportRetx:       reg.Counter("prudentia_transport_retransmits_total"),
+		transportTimeouts:   reg.Counter("prudentia_transport_timeouts_total"),
+		transportCwndEvents: reg.Counter("prudentia_transport_cwnd_events_total"),
+		transportTailProbes: reg.Counter("prudentia_transport_tail_probes_total"),
+
+		chaosFlaps:  reg.Counter(`prudentia_chaos_episodes_total{kind="flap"}`),
+		chaosSags:   reg.Counter(`prudentia_chaos_episodes_total{kind="sag"}`),
+		chaosStalls: reg.Counter(`prudentia_chaos_episodes_total{kind="stall"}`),
+
+		trialSim:  reg.Histogram("prudentia_trial_sim_seconds", obs.TrialSimSecondsBuckets()),
+		trialWall: reg.Histogram("prudentia_trial_wall_seconds", obs.TrialWallSecondsBuckets()),
+
+		poolBusy: reg.Gauge("prudentia_pool_busy_wall_fraction"),
+	}
+}
+
+// emit forwards an event to the timeline (nil-safe).
+func (in *Instruments) emit(ev obs.TimelineEvent) {
+	if in != nil {
+		in.Timeline.Emit(ev)
+	}
+}
+
+// now returns the wall clock only when timing will actually be recorded.
+func (in *Instruments) now() time.Time {
+	if in == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// trialStart records one attempt entering execution.
+func (in *Instruments) trialStart(pair string, seed uint64, attempt int) {
+	if in == nil {
+		return
+	}
+	in.trialsStarted.Inc()
+	in.emit(obs.TimelineEvent{Kind: "trial_start", Pair: pair, Seed: seed, Attempt: attempt})
+}
+
+// trialDurations records a finished attempt's sim/wall time histograms.
+func (in *Instruments) trialDurations(simSeconds float64, start time.Time) float64 {
+	if in == nil {
+		return 0
+	}
+	wall := time.Since(start).Seconds()
+	in.trialSim.Observe(simSeconds)
+	in.trialWall.Observe(wall)
+	return wall
+}
+
+// trialOK records a counted trial and folds its deterministic testbed
+// aggregate into the registry.
+func (in *Instruments) trialOK(pair string, seed uint64, attempt int, res *TrialResult, start time.Time) {
+	if in == nil {
+		return
+	}
+	in.trialsCompleted.Inc()
+	in.foldObs(res.Obs)
+	wall := in.trialDurations(res.Obs.SimSeconds, start)
+	in.emit(obs.TimelineEvent{Kind: "trial_ok", Pair: pair, Seed: seed, Attempt: attempt,
+		SimSeconds: res.Obs.SimSeconds, WallSeconds: wall})
+}
+
+// foldObs adds one counted trial's aggregate to the netem/transport/
+// chaos counter families.
+func (in *Instruments) foldObs(o TrialObs) {
+	if in == nil {
+		return
+	}
+	in.netemArrived.Add(o.ArrivedPackets)
+	in.netemDropped.Add(o.DroppedPackets)
+	in.netemDelivered.Add(o.DeliveredPackets)
+	in.netemDelBytes.Add(o.DeliveredBytes)
+	in.netemExternal.Add(o.ExternalDrops)
+	in.netemChaos.Add(o.ChaosDrops)
+	in.occupancyHigh.SetMax(float64(o.OccupancyHighWater))
+	in.transportRetx.Add(o.Retransmits)
+	in.transportTimeouts.Add(o.Timeouts)
+	in.transportCwndEvents.Add(o.CwndEvents)
+	in.transportTailProbes.Add(o.TailProbes)
+	in.chaosFlaps.Add(o.ChaosFlaps)
+	in.chaosSags.Add(o.ChaosSags)
+	in.chaosStalls.Add(o.ChaosStalls)
+}
+
+// trialFail records a failed attempt (injected error or recovered panic).
+func (in *Instruments) trialFail(pair string, seed uint64, attempt int, kind, msg string, simSeconds float64, start time.Time) {
+	if in == nil {
+		return
+	}
+	in.trialsFailed.Inc()
+	switch kind {
+	case "panic":
+		in.failPanic.Inc()
+	case "error":
+		in.failError.Inc()
+	}
+	wall := in.trialDurations(simSeconds, start)
+	in.emit(obs.TimelineEvent{Kind: "trial_fail", Pair: pair, Seed: seed, Attempt: attempt,
+		WallSeconds: wall, Detail: kind + ": " + msg})
+}
+
+// trialDiscard records a noise-discarded attempt.
+func (in *Instruments) trialDiscard(pair string, seed uint64, attempt int, res *TrialResult, start time.Time) {
+	if in == nil {
+		return
+	}
+	in.trialsDiscarded.Inc()
+	wall := in.trialDurations(res.Obs.SimSeconds, start)
+	in.emit(obs.TimelineEvent{Kind: "trial_discard", Pair: pair, Seed: seed, Attempt: attempt,
+		SimSeconds: res.Obs.SimSeconds, WallSeconds: wall})
+}
+
+// trialCorrupt records a validity-gate rejection.
+func (in *Instruments) trialCorrupt(pair string, seed uint64, attempt int, res *TrialResult, detail string, start time.Time) {
+	if in == nil {
+		return
+	}
+	in.trialsCorrupt.Inc()
+	wall := in.trialDurations(res.Obs.SimSeconds, start)
+	in.emit(obs.TimelineEvent{Kind: "trial_corrupt", Pair: pair, Seed: seed, Attempt: attempt,
+		SimSeconds: res.Obs.SimSeconds, WallSeconds: wall, Detail: detail})
+}
+
+// retry records a backoff-scheduled retry.
+func (in *Instruments) retry() { // counter only; the ledger carries detail
+	if in != nil {
+		in.retries.Inc()
+	}
+}
+
+// pairDone records a pair reaching a final state. Called from the
+// scheduler's ordered release path, so pair_done timeline events appear
+// in canonical order even under the worker pool.
+func (in *Instruments) pairDone(st *pairState) {
+	if in == nil {
+		return
+	}
+	in.pairsCompleted.Inc()
+	o := st.outcome
+	detail := "ok"
+	if o.Failed {
+		in.quarantines.Inc()
+		detail = "quarantined"
+	} else if o.Unstable {
+		detail = "unstable"
+	}
+	in.emit(obs.TimelineEvent{Kind: "pair_done", Pair: st.pairLabel(), Detail: detail})
+}
+
+// calibrationDone records one service's solo calibration outcome.
+func (in *Instruments) calibrationDone(label string, ok bool) {
+	if in == nil {
+		return
+	}
+	detail := "failed"
+	if ok {
+		in.calibrations.Inc()
+		detail = "ok"
+	}
+	in.emit(obs.TimelineEvent{Kind: "calibration_done", Pair: label, Detail: detail})
+}
+
+// checkpointSaved records a successful checkpoint flush.
+func (in *Instruments) checkpointSaved() {
+	if in != nil {
+		in.checkpointSaves.Inc()
+	}
+}
+
+// poolStats records the worker pool's measured busy fraction (busy
+// worker-time over elapsed×workers — a wall-clock metric, stripped from
+// determinism comparisons). The pool size itself is host configuration
+// and lives in the run manifest, not the registry, so snapshots stay
+// identical across worker counts.
+func (in *Instruments) poolStats(busyFraction float64) {
+	if in != nil && busyFraction >= 0 {
+		in.poolBusy.Set(busyFraction)
+	}
+}

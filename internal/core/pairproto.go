@@ -47,6 +47,14 @@ type pairProtocol struct {
 	// including the attempt that quarantines the pair or marks it
 	// Unstable. Must be non-nil (use a no-op func for no listener).
 	emit func(FaultEvent)
+	// ins, when non-nil, receives live telemetry (counters, duration
+	// histograms, timeline events) for every attempt. Unlike emit, which
+	// buffers under the worker pool to preserve canonical ledger order,
+	// instruments record from the executing goroutine: counters are
+	// commutative (deterministic totals for any worker count) and
+	// timeline events are wall-stamped observability data, not part of
+	// the deterministic output contract.
+	ins *Instruments
 }
 
 // run drives st until the pair reaches a final state, polling interrupt
@@ -89,9 +97,12 @@ func (pp *pairProtocol) runOne(st *pairState) {
 		} else {
 			spec = spec.DefaultTiming()
 		}
+		start := pp.ins.now()
+		pp.ins.trialStart(st.pairLabel(), seed, attempt)
 		res, err := runTrialSafe(spec)
 		if err != nil {
 			te := asTrialError(err, seed)
+			pp.ins.trialFail(st.pairLabel(), seed, attempt, te.Kind, te.Msg, 0, start)
 			st.outcome.Failures = append(st.outcome.Failures,
 				TrialFailure{Attempt: attempt, Seed: seed, Kind: te.Kind, Msg: te.Msg})
 			pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: te.Kind, Attempt: attempt, Seed: seed, Detail: te.Msg})
@@ -102,6 +113,7 @@ func (pp *pairProtocol) runOne(st *pairState) {
 					Detail: fmt.Sprintf("%d failures", len(st.outcome.Failures))})
 			} else {
 				st.outcome.Retries++
+				pp.ins.retry()
 				st.cooldown = backoffRounds(len(st.outcome.Failures))
 				pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: "retry", Attempt: attempt, Seed: seed,
 					Detail: fmt.Sprintf("backoff %d rounds", st.cooldown)})
@@ -109,6 +121,7 @@ func (pp *pairProtocol) runOne(st *pairState) {
 			return
 		}
 		if res.Discarded {
+			pp.ins.trialDiscard(st.pairLabel(), seed, attempt, &res, start)
 			st.outcome.Discards++
 			pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: "discard", Attempt: attempt, Seed: seed,
 				Detail: fmt.Sprintf("external loss %.4f%%", 100*res.ExternalLossRate)})
@@ -120,6 +133,7 @@ func (pp *pairProtocol) runOne(st *pairState) {
 			continue
 		}
 		if verr := res.Validate(); verr != nil {
+			pp.ins.trialCorrupt(st.pairLabel(), seed, attempt, &res, verr.Error(), start)
 			st.outcome.Corrupt++
 			pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: "corrupt", Attempt: attempt, Seed: seed, Detail: verr.Error()})
 			if st.outcome.Discards+st.outcome.Corrupt > pp.opts.MaxDiscards {
@@ -129,6 +143,7 @@ func (pp *pairProtocol) runOne(st *pairState) {
 			}
 			continue
 		}
+		pp.ins.trialOK(st.pairLabel(), seed, attempt, &res, start)
 		st.outcome.Trials = append(st.outcome.Trials, res)
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Worker-pool execution of the pair matrix.
@@ -59,7 +60,7 @@ func (m *Matrix) runAll(states []*pairState, opts SchedulerOptions) (interrupted
 	nw := workerCount(m.Workers, len(states))
 	if nw <= 1 {
 		for _, st := range states {
-			pp := &pairProtocol{net: m.Net, opts: opts, emit: m.fault}
+			pp := &pairProtocol{net: m.Net, opts: opts, emit: m.fault, ins: m.Obs}
 			if !pp.run(st, m.Interrupt) {
 				return true
 			}
@@ -89,6 +90,16 @@ func (m *Matrix) runAll(states []*pairState, opts SchedulerOptions) (interrupted
 	}
 	close(tasks)
 
+	// busyNanos accumulates per-worker time spent actually running pairs
+	// (as opposed to waiting on the task channel), feeding the pool
+	// busy-fraction gauge. Only measured when instrumented: the wall
+	// clock stays off the uninstrumented path.
+	var busyNanos atomic.Int64
+	poolStart := time.Time{}
+	if m.Obs != nil {
+		poolStart = time.Now()
+	}
+
 	runs := make(chan *pairRun, len(states))
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
@@ -100,9 +111,16 @@ func (m *Matrix) runAll(states []*pairState, opts SchedulerOptions) (interrupted
 					return
 				}
 				pr := &pairRun{idx: i, st: states[i]}
-				pp := &pairProtocol{net: m.Net, opts: opts,
+				pp := &pairProtocol{net: m.Net, opts: opts, ins: m.Obs,
 					emit: func(ev FaultEvent) { pr.events = append(pr.events, ev) }}
+				var t0 time.Time
+				if m.Obs != nil {
+					t0 = time.Now()
+				}
 				pr.completed = pp.run(states[i], interrupt)
+				if m.Obs != nil {
+					busyNanos.Add(int64(time.Since(t0)))
+				}
 				runs <- pr
 				if !pr.completed {
 					return
@@ -151,6 +169,13 @@ func (m *Matrix) runAll(states []*pairState, opts SchedulerOptions) (interrupted
 		for _, i := range idxs {
 			release(pending[i])
 		}
+	}
+	if m.Obs != nil {
+		frac := -1.0
+		if elapsed := time.Since(poolStart); elapsed > 0 {
+			frac = float64(busyNanos.Load()) / (float64(elapsed) * float64(nw))
+		}
+		m.Obs.poolStats(frac)
 	}
 	return stop.Load()
 }

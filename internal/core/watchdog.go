@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"prudentia/internal/netem"
+	"prudentia/internal/obs"
 	"prudentia/internal/services"
 	"prudentia/internal/stats"
 )
@@ -55,6 +56,11 @@ type Watchdog struct {
 	// OnFault, if non-nil, receives the live robustness ledger from all
 	// matrices and calibrations.
 	OnFault func(ev FaultEvent)
+	// Obs, if non-nil, receives live telemetry for the whole cycle:
+	// metric counters/histograms plus the cycle timeline
+	// (cycle/setting/calibration/trial/pair/checkpoint events). Build one
+	// with NewInstruments; nil disables instrumentation entirely.
+	Obs *Instruments
 
 	cycles      []*CycleResult
 	submissions []Submission
@@ -172,9 +178,14 @@ func (w *Watchdog) flush(cp *Checkpoint) {
 	if w.CheckpointPath == "" {
 		return
 	}
-	if err := SaveCheckpoint(w.CheckpointPath, cp); err != nil && w.Progress != nil {
-		w.Progress("checkpoint save failed: %v", err)
+	if err := SaveCheckpoint(w.CheckpointPath, cp); err != nil {
+		if w.Progress != nil {
+			w.Progress("checkpoint save failed: %v", err)
+		}
+		return
 	}
+	w.Obs.checkpointSaved()
+	w.Obs.emit(obs.TimelineEvent{Kind: "checkpoint", Cycle: cp.Cycle})
 }
 
 // RunCycle executes one full iteration and appends it to the history.
@@ -195,7 +206,11 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 		cr.Cycle = cp.Cycle
 	}
 	live := newCheckpoint(cr.Cycle, len(w.Settings))
+	w.Obs.emit(obs.TimelineEvent{Kind: "cycle_start", Cycle: cr.Cycle,
+		Detail: fmt.Sprintf("%d services, %d settings, resumed=%v", len(w.Services), len(w.Settings), cp != nil)})
 	for si, net := range w.Settings {
+		w.Obs.emit(obs.TimelineEvent{Kind: "setting_start", Cycle: cr.Cycle, Setting: si,
+			Detail: fmt.Sprintf("%d Mbps", net.RateBps/1_000_000)})
 		opts := w.Opts
 		if opts.IsZero() {
 			opts = PaperOptions(net)
@@ -214,6 +229,7 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 			cal, stopped = w.calibrateAll(net, opts)
 			if stopped {
 				w.flush(live)
+				w.Obs.emit(obs.TimelineEvent{Kind: "cycle_end", Cycle: cr.Cycle, Detail: "interrupted"})
 				return nil, ErrInterrupted
 			}
 		}
@@ -240,6 +256,7 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 			OnFault:   w.OnFault,
 			Interrupt: w.Interrupt,
 			Completed: completed,
+			Obs:       w.Obs,
 			OnPair: func(key string, out *PairOutcome) {
 				live.Pairs[si][key] = out
 				w.flush(live)
@@ -248,6 +265,7 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 		res, err := m.Run()
 		if err != nil {
 			w.flush(live)
+			w.Obs.emit(obs.TimelineEvent{Kind: "cycle_end", Cycle: cr.Cycle, Detail: "interrupted"})
 			return nil, err
 		}
 		cr.PerSetting = append(cr.PerSetting, res)
@@ -256,6 +274,7 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 		os.Remove(w.CheckpointPath)
 	}
 	w.cycles = append(w.cycles, cr)
+	w.Obs.emit(obs.TimelineEvent{Kind: "cycle_end", Cycle: cr.Cycle, Detail: "completed"})
 	return cr, nil
 }
 
@@ -274,7 +293,9 @@ func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions) (cal ma
 			if w.interrupted() {
 				return nil, true
 			}
-			if mbps, ok := w.calibrate(svc, net, opts, i, w.OnFault); ok {
+			mbps, ok := w.calibrate(svc, net, opts, i, w.OnFault)
+			w.Obs.calibrationDone(svc.Name(), ok)
+			if ok {
 				cal[svc.Name()] = mbps
 			}
 		}
@@ -328,7 +349,8 @@ func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions) (cal ma
 		done[cr.idx] = cr
 	}
 	// Emit buffered fault events in catalog order so the ledger is
-	// byte-identical to a serial calibration pass.
+	// byte-identical to a serial calibration pass. Calibration telemetry
+	// rides the same ordered release.
 	for i, cr := range done {
 		if cr == nil {
 			continue
@@ -338,6 +360,7 @@ func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions) (cal ma
 				w.OnFault(ev)
 			}
 		}
+		w.Obs.calibrationDone(w.Services[i].Name(), cr.ok)
 		if cr.ok {
 			cal[w.Services[i].Name()] = cr.mbps
 		}

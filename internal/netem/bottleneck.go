@@ -74,9 +74,13 @@ type Bottleneck struct {
 	DownstreamDelay sim.Time
 
 	// queue is a fixed-capacity ring buffer: head is the index of the
-	// oldest packet, qlen the current depth.
+	// oldest packet, qlen the current depth; highWater is the deepest the
+	// queue has been (the occupancy high-water mark the obs layer
+	// exports). Tracking it inline costs one compare per enqueue and
+	// keeps the hot path free of telemetry branches.
 	queue      []*Packet
 	head, qlen int
+	highWater  int
 	perService [MaxServices]int // queued packet counts per slot
 	busy       bool
 
@@ -160,6 +164,9 @@ func (b *Bottleneck) SerializationDelay(size int) sim.Time {
 // QueueLen reports the instantaneous queue depth in packets.
 func (b *Bottleneck) QueueLen() int { return b.qlen }
 
+// HighWater reports the deepest queue occupancy observed so far.
+func (b *Bottleneck) HighWater() int { return b.highWater }
+
 // QueueLenFor reports the queued packets attributed to one slot.
 func (b *Bottleneck) QueueLenFor(service int) int { return b.perService[service] }
 
@@ -185,6 +192,9 @@ func (b *Bottleneck) Enqueue(now sim.Time, p *Packet) {
 	p.enqueuedAt = now
 	b.queue[(b.head+b.qlen)%b.Capacity] = p
 	b.qlen++
+	if b.qlen > b.highWater {
+		b.highWater = b.qlen
+	}
 	b.perService[p.Service]++
 	if b.EnqueueHook != nil {
 		b.EnqueueHook(now, p)

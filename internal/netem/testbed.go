@@ -108,6 +108,22 @@ type Testbed struct {
 	// and the CI escalation rather than the noise-discard gate.
 	ChaosDrops int64
 
+	// Transport event counters, incremented by transport flows on their
+	// rare-event paths (never per packet). A testbed is single-threaded
+	// on its engine, so plain int64 fields suffice; the obs layer scrapes
+	// them into the trial's deterministic aggregate after the run.
+	TransportRetransmits int64
+	TransportTimeouts    int64
+	TransportCwndEvents  int64
+	TransportTailProbes  int64
+
+	// Chaos episode counters, incremented by chaos.Config.Arm's fault
+	// processes as each injected episode begins ("faults injected by
+	// kind" in the obs exposition).
+	ChaosFlaps  int64
+	ChaosSags   int64
+	ChaosStalls int64
+
 	linkDownUntil sim.Time
 	stallUntil    [MaxServices]sim.Time
 }
@@ -263,6 +279,9 @@ func (tb *Testbed) StallService(slot int, until sim.Time) {
 		tb.stallUntil[slot] = until
 	}
 }
+
+// UpstreamSentPackets reports how many packets servers injected upstream.
+func (tb *Testbed) UpstreamSentPackets() int64 { return tb.upstreamSent }
 
 // ExternalLossRate reports the fraction of upstream packets lost to noise.
 func (tb *Testbed) ExternalLossRate() float64 {

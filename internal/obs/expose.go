@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// HistogramSnapshot is one histogram's frozen state. Counts has one
+// entry per bound plus a final overflow (+Inf) bucket; entries are
+// per-bucket (non-cumulative) — the Prometheus writer accumulates.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a registry's frozen state, serializable as JSON and
+// Prometheus text exposition format.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// StripWallClock returns a copy of the snapshot without wall-clock
+// metrics — by convention every nondeterministic (timing-of-this-host)
+// metric carries "wall" in its name. What remains is a pure function of
+// the seeded work performed, so it must be identical across reruns and
+// worker counts; the determinism tests compare exactly this.
+func (s Snapshot) StripWallClock() Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for k, v := range s.Counters {
+		if !strings.Contains(k, "wall") {
+			out.Counters[k] = v
+		}
+	}
+	for k, v := range s.Gauges {
+		if !strings.Contains(k, "wall") {
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range s.Histograms {
+		if !strings.Contains(k, "wall") {
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the snapshot as indented JSON (map keys are sorted by
+// encoding/json, so the output is deterministic).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// fmtFloat renders a float the way Prometheus expects.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// baseName strips an optional {label="value"} suffix from a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus emits the snapshot in the Prometheus text exposition
+// format (version 0.0.4), with metric families in sorted order. Names
+// may carry a literal {label="value"} suffix, emitted verbatim; TYPE
+// headers are written once per family.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := map[string]bool{}
+	writeType := func(name, kind string) error {
+		base := baseName(name)
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if err := writeType(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if err := writeType(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, fmtFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		if err := writeType(name, "histogram"); err != nil {
+			return err
+		}
+		h := s.Histograms[name]
+		cum := int64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmtFloat(h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, fmtFloat(h.Sum), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two snapshots carry identical metric state.
+func (s Snapshot) Equal(o Snapshot) bool {
+	a, err1 := json.Marshal(s)
+	b, err2 := json.Marshal(o)
+	return err1 == nil && err2 == nil && string(a) == string(b)
+}

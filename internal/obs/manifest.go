@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// ManifestSchema identifies the manifest format; bump on breaking change.
+const ManifestSchema = "prudentia.manifest/1"
+
+// Manifest is the post-hoc debugging record a completed (or interrupted)
+// cycle leaves behind: enough to re-run it exactly (seed, settings,
+// catalog, revision) plus the full metric snapshot to reconcile against
+// the published report. GeneratedAt and the "wall" metrics inside
+// Metrics are the only fields that vary between identical seeded runs.
+type Manifest struct {
+	Schema      string `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	GitRevision string `json:"git_revision"`
+	GoVersion   string `json:"go_version"`
+
+	Cycle    int      `json:"cycle"`
+	BaseSeed uint64   `json:"base_seed"`
+	Workers  int      `json:"workers"`
+	Services []string `json:"services"`
+	// Settings carries the caller's network-setting configs verbatim
+	// (obs stays dependency-free, so the concrete type lives upstream).
+	Settings     any  `json:"settings"`
+	ChaosEnabled bool `json:"chaos_enabled"`
+	Interrupted  bool `json:"interrupted"`
+
+	Metrics Snapshot `json:"metrics"`
+}
+
+// NewManifest stamps schema, time, toolchain, and VCS revision.
+func NewManifest() Manifest {
+	return Manifest{
+		Schema:      ManifestSchema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GitRevision: GitRevision(),
+		GoVersion:   runtime.Version(),
+	}
+}
+
+// GitRevision returns the VCS revision baked into the binary (requires a
+// -buildvcs build; "unknown" otherwise, e.g. under plain `go test`). A
+// locally modified tree is marked with a "+dirty" suffix.
+func GitRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// Write stores the manifest atomically (temp file + rename), so a crash
+// mid-write never leaves a truncated manifest next to a good timeline.
+func (m Manifest) Write(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".prudentia-manifest-*")
+	if err != nil {
+		return fmt.Errorf("obs: manifest temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: close manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("obs: rename manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads a manifest written by Write.
+func ReadManifest(path string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("obs: parse manifest %s: %w", path, err)
+	}
+	return m, nil
+}

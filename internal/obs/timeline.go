@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// TimelineEvent is one line in the per-cycle JSONL timeline: what the
+// watchdog was doing, when (wall clock), and to which piece of work. The
+// schema is additive — consumers must ignore unknown fields — and is
+// pinned by the round-trip test in timeline_test.go.
+type TimelineEvent struct {
+	// WallMs is the wall-clock timestamp in Unix milliseconds; Emit
+	// stamps it when zero.
+	WallMs int64 `json:"wall_ms"`
+	// Kind labels the event: cycle_start, setting_start, calibration_done,
+	// trial_start, trial_ok, trial_fail, trial_discard, trial_corrupt,
+	// pair_done, checkpoint, cycle_end.
+	Kind string `json:"kind"`
+	// Cycle is the 1-based watchdog cycle number.
+	Cycle int `json:"cycle,omitempty"`
+	// Setting is the network-setting index within the cycle.
+	Setting int `json:"setting,omitempty"`
+	// Pair names the experiment ("A vs B", or "A (solo)" for calibration).
+	Pair string `json:"pair,omitempty"`
+	// Seed is the trial seed (reproduces the trial exactly).
+	Seed uint64 `json:"seed,omitempty"`
+	// Attempt is the per-experiment attempt index the seed derives from.
+	Attempt int `json:"attempt,omitempty"`
+	// SimSeconds is the trial's simulated duration (trial_* events).
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	// WallSeconds is how long the trial took on this host.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// Detail carries the failure message, quarantine reason, etc.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Timeline appends TimelineEvents to a writer as JSONL. It is safe for
+// concurrent use (worker goroutines emit trial events live, which is the
+// point: a crashed or wedged cycle leaves a readable record of exactly
+// how far it got). A nil *Timeline is a no-op. Events are flushed on
+// every emit so the tail survives a crash.
+type Timeline struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewTimeline wraps an io.Writer as a timeline sink.
+func NewTimeline(w io.Writer) *Timeline {
+	return &Timeline{bw: bufio.NewWriter(w)}
+}
+
+// CreateTimeline opens (truncating) a timeline file, creating parent
+// directories as needed.
+func CreateTimeline(path string) (*Timeline, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("obs: create timeline dir: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create timeline: %w", err)
+	}
+	t := NewTimeline(f)
+	t.c = f
+	return t, nil
+}
+
+// Emit appends one event, stamping WallMs if unset. Write errors are
+// sticky and reported by Close; a telemetry failure must never take the
+// watchdog down mid-cycle.
+func (t *Timeline) Emit(ev TimelineEvent) {
+	if t == nil {
+		return
+	}
+	if ev.WallMs == 0 {
+		ev.WallMs = time.Now().UnixMilli()
+	}
+	data, err := json.Marshal(ev)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.bw.Write(data); err != nil {
+		t.err = err
+		return
+	}
+	if err := t.bw.WriteByte('\n'); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.bw.Flush()
+}
+
+// Close flushes and closes the underlying writer, returning the first
+// error encountered over the timeline's lifetime.
+func (t *Timeline) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.c = nil
+	}
+	return t.err
+}
+
+// ReadTimeline parses a JSONL timeline stream back into events (the
+// round-trip half of the schema contract; also the programmatic way to
+// post-mortem a cycle).
+func ReadTimeline(r io.Reader) ([]TimelineEvent, error) {
+	var out []TimelineEvent
+	dec := json.NewDecoder(r)
+	for {
+		var ev TimelineEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: timeline line %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+}

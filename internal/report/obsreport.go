@@ -1,0 +1,61 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prudentia/internal/obs"
+)
+
+// MetricsSummary renders an obs.Snapshot as a compact operator-facing
+// text block: non-zero counters first (sorted by name), then gauges,
+// then one line per histogram with count/sum and the populated buckets.
+// Zero-valued counters are elided — a long tail of zeros hides the
+// signal a watchdog operator is scanning for.
+func MetricsSummary(s obs.Snapshot) string {
+	var b strings.Builder
+	b.WriteString("== Cycle metrics ==\n")
+
+	names := make([]string, 0, len(s.Counters))
+	for name, v := range s.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-48s %d\n", name, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-48s %g\n", name, s.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "%-48s count=%d sum=%.3f", name, h.Count, h.Sum)
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(&b, " le%g:%d", h.Bounds[i], c)
+			} else {
+				fmt.Fprintf(&b, " le+Inf:%d", c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

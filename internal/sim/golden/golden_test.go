@@ -3,6 +3,7 @@ package golden
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"testing"
 )
@@ -40,11 +41,31 @@ func TestGoldenTraceReplay(t *testing.T) {
 			}
 			if !bytes.Equal(got, want) {
 				line, gl, wl := FirstDiff(got, want)
+				reportDivergence(t, e.Name, line, gl, wl)
 				t.Fatalf("trace diverged from golden at line %d:\n  got:  %s\n  want: %s\n(%d vs %d bytes; the hot path changed observable behaviour)",
 					line, gl, wl, len(got), len(want))
 			}
 		})
 	}
+}
+
+// reportDivergence appends the first divergent line to the file named by
+// $GOLDEN_DIVERGENCE_OUT, so a CI failure ships the exact point of
+// divergence as an artifact instead of making the investigator re-run
+// the corpus locally. A write failure only logs — the test failure
+// itself must not be masked.
+func reportDivergence(t *testing.T, name string, line int, got, want string) {
+	path := os.Getenv("GOLDEN_DIVERGENCE_OUT")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Logf("golden divergence artifact: %v", err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "trace=%s line=%d\ngot:  %s\nwant: %s\n\n", name, line, got, want)
 }
 
 // TestGoldenRecordingIsDeterministic re-records one entry twice and

@@ -194,6 +194,19 @@ func WriteFaultsCSV(w io.Writer, events []core.FaultEvent) error {
 	return cw.Error()
 }
 
+// WriteFaultsJSONL emits the robustness ledger as JSON Lines, one event
+// per line — the same framing as the obs cycle timeline, so the two
+// files can be merged or tailed with the same tooling.
+func WriteFaultsJSONL(w io.Writer, events []core.FaultEvent) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteJSON emits any artifact as indented JSON.
 func WriteJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)

@@ -317,6 +317,7 @@ func (f *Flow) sendRetransmit(now sim.Time) {
 		return // delivered in the meantime
 	}
 	f.Retransmits++
+	f.tb.TransportRetransmits++
 	f.rtxOutstanding = append(f.rtxOutstanding, seq)
 	f.transmit(now, seq, true)
 }
@@ -506,6 +507,7 @@ func (f *Flow) detectLosses(now sim.Time, highest int64) {
 		if !f.inRecovery {
 			f.inRecovery = true
 			f.recoveryEnd = f.nextSeq
+			f.tb.TransportCwndEvents++
 			f.alg.OnCongestionEvent(now)
 		}
 		if f.opts.FragileRecovery {
@@ -514,6 +516,7 @@ func (f *Flow) detectLosses(now sim.Time, highest int64) {
 				// Burst loss took out a big chunk of the window: the
 				// ACK clock is gone; collapse as a timeout would.
 				f.Timeouts++
+				f.tb.TransportTimeouts++
 				f.alg.OnTimeout(now)
 			}
 		}
@@ -628,6 +631,8 @@ func (f *Flow) sendTailProbe(now sim.Time) {
 	}
 	f.TailProbes++
 	f.Retransmits++
+	f.tb.TransportTailProbes++
+	f.tb.TransportRetransmits++
 	f.rtxOutstanding = append(f.rtxOutstanding, highest)
 	f.transmit(now, highest, true)
 }
@@ -645,6 +650,7 @@ func (f *Flow) onRTO(now sim.Time) {
 		return
 	}
 	f.Timeouts++
+	f.tb.TransportTimeouts++
 	f.alg.OnTimeout(now)
 	// Everything outstanding is presumed lost and must be retransmitted.
 	f.rtxQueue = f.rtxQueue[:0]

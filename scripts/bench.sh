@@ -99,23 +99,76 @@ sim_mode() {
     cat "$SIM_OUT"
 }
 
+# check_mode fails LOUDLY on every degenerate input. The old version
+# passed vacuously when the benchmark run produced no parseable lines
+# (the while-read loop simply never executed); now an empty result set,
+# a missing baseline, a malformed baseline line, and a baseline
+# benchmark missing from the fresh run are each hard failures.
+#
+# Test/CI hooks (all optional):
+#   BENCH_SIM_OUT        baseline JSON to check against (default BENCH_sim.json)
+#   BENCH_CHECK_RAW      pre-reduced "name ns bytes allocs simsec" file to
+#                        check instead of re-running the benchmarks
+#   BENCH_CHECK_RAW_OUT  also copy the fresh reduction here (CI keeps it
+#                        as the candidate artifact when the gate fails)
+#   BENCH_NS_TOLERANCE   allowed ns/op ratio vs baseline (default 1.10)
 check_mode() {
-    [ -f "$SIM_OUT" ] || { echo "bench: no committed $SIM_OUT to check against; run 'scripts/bench.sh sim' first" >&2; exit 1; }
+    local sim_out="${BENCH_SIM_OUT:-$SIM_OUT}"
+    local tol="${BENCH_NS_TOLERANCE:-1.10}"
+    [ -f "$sim_out" ] || { echo "bench-check: no committed $sim_out to check against; run 'scripts/bench.sh sim' first" >&2; exit 1; }
+
+    # Validate the baseline before trusting it: every line must carry a
+    # benchmark name plus numeric ns_op and allocs_op.
+    local baseline_names
+    baseline_names="$(awk '
+        NF == 0 { next }
+        {
+            if (match($0, /"benchmark":"[^"]+"/) && $0 ~ /"ns_op":[0-9.]+/ && $0 ~ /"allocs_op":[0-9]+/) {
+                v = substr($0, RSTART, RLENGTH)
+                sub(/^"benchmark":"/, "", v); sub(/"$/, "", v)
+                print v
+            } else {
+                print "__MALFORMED__"
+            }
+        }' "$sim_out")"
+    if [ -z "$baseline_names" ]; then
+        echo "bench-check: $sim_out is empty — not a valid baseline (re-run 'scripts/bench.sh sim')" >&2
+        exit 1
+    fi
+    if printf '%s\n' "$baseline_names" | grep -q '^__MALFORMED__$'; then
+        echo "bench-check: $sim_out is malformed (line without benchmark/ns_op/allocs_op); refusing to pass vacuously" >&2
+        exit 1
+    fi
+
+    local raw
+    if [ -n "${BENCH_CHECK_RAW:-}" ]; then
+        raw="$BENCH_CHECK_RAW"
+        [ -f "$raw" ] || { echo "bench-check: BENCH_CHECK_RAW=$raw does not exist" >&2; exit 1; }
+    else
+        RAWTMP="$(mktemp)"
+        trap 'rm -f "$RAWTMP"' EXIT
+        raw="$RAWTMP"
+        run_sim_bench 3 1s "$raw"
+    fi
+    if [ -n "${BENCH_CHECK_RAW_OUT:-}" ]; then
+        cp -f "$raw" "$BENCH_CHECK_RAW_OUT"
+    fi
+    if [ ! -s "$raw" ]; then
+        echo "bench-check: benchmark run produced no results (empty reduction — pattern or toolchain problem, NOT a pass)" >&2
+        exit 1
+    fi
+
     local fail=0
-    RAWTMP="$(mktemp)"
-    trap 'rm -f "$RAWTMP"' EXIT
-    local raw="$RAWTMP"
-    run_sim_bench 3 1s "$raw"
     while read -r name ns by al sw; do
-        ref_ns="$(json_field "$SIM_OUT" "$name" ns_op)"
-        ref_al="$(json_field "$SIM_OUT" "$name" allocs_op)"
+        ref_ns="$(json_field "$sim_out" "$name" ns_op)"
+        ref_al="$(json_field "$sim_out" "$name" allocs_op)"
         if [ -z "$ref_ns" ]; then
-            echo "bench-check: $name has no entry in $SIM_OUT (re-run 'scripts/bench.sh sim')" >&2
+            echo "bench-check: $name has no entry in $sim_out (re-run 'scripts/bench.sh sim')" >&2
             fail=1
             continue
         fi
-        if awk -v c="$ns" -v r="$ref_ns" 'BEGIN { exit !(c > 1.10 * r) }'; then
-            echo "bench-check: $name regressed: $ns ns/op > 1.10 x committed $ref_ns" >&2
+        if awk -v c="$ns" -v r="$ref_ns" -v t="$tol" 'BEGIN { exit !(c > t * r) }'; then
+            echo "bench-check: $name regressed: $ns ns/op > $tol x committed $ref_ns" >&2
             fail=1
         fi
         if [ "$al" -gt "${ref_al:-0}" ]; then
@@ -123,11 +176,24 @@ check_mode() {
             fail=1
         fi
     done < "$raw"
+
+    # Bidirectional coverage: a benchmark present in the baseline but
+    # absent from the fresh run means the gate silently stopped guarding
+    # it (renamed benchmark, narrowed pattern) — fail, don't shrug.
+    while read -r name; do
+        if ! grep -q "^$name " "$raw"; then
+            echo "bench-check: baseline benchmark $name missing from this run (renamed? pattern narrowed?)" >&2
+            fail=1
+        fi
+    done <<EOF
+$baseline_names
+EOF
+
     if [ "$fail" -ne 0 ]; then
-        echo "bench-check: FAILED (hot path regressed vs committed $SIM_OUT)" >&2
+        echo "bench-check: FAILED (hot path regressed vs committed $sim_out)" >&2
         exit 1
     fi
-    echo "bench-check: OK (all hot-path benchmarks within 10% of committed $SIM_OUT, allocs at or below)"
+    echo "bench-check: OK (all hot-path benchmarks within ${tol}x of committed $sim_out, allocs at or below)"
 }
 
 parallel_mode() {
