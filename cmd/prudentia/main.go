@@ -8,9 +8,15 @@
 // state to disk after every pair, SIGINT/SIGTERM stop it gracefully with
 // the checkpoint intact, and -resume picks the cycle back up, skipping
 // already-completed pairs while producing results identical to an
-// uninterrupted run. -chaos arms the deterministic fault-injection plan
-// (link flaps, bandwidth sags, client stalls, trial panics/errors,
-// result corruption) to exercise those defenses.
+// uninterrupted run. -journal adds a write-ahead trial journal below the
+// checkpoint: every executed attempt is fsynced as it completes, so even
+// kill -9 loses at most the single in-flight trial and the next run
+// replays the journaled remainder instead of re-simulating it.
+// -max-trial-wall arms the hung-trial reaper (wall-clock budget per
+// trial), -soak N runs N consecutive cycles carrying circuit-breaker
+// state across them, and -chaos arms the deterministic fault-injection
+// plan (link flaps, bandwidth sags, client stalls, trial panics/errors,
+// result corruption, service brownouts) to exercise those defenses.
 //
 // -workers N (default GOMAXPROCS) fans calibrations and pair trials out
 // to a worker pool; every trial owns a private simulation engine and
@@ -26,6 +32,8 @@
 //	prudentia -workers 8           # parallel matrix, identical output
 //	prudentia -checkpoint state.json            # crash-safe cycles
 //	prudentia -checkpoint state.json -resume    # continue after a kill
+//	prudentia -checkpoint s.json -journal t.wal # journal: kill -9 safe
+//	prudentia -soak 5 -max-trial-wall 50        # long-run supervision
 //	prudentia -chaos -v                         # fault-injection run
 //	prudentia -submit https://my.service/page -code <access code>
 package main
@@ -73,6 +81,9 @@ func main() {
 		manifest   = flag.String("manifest", "", "write the run manifest here after every cycle (default: manifest.json beside -timeline)")
 		pprofDir   = flag.String("pprof-dir", "", "capture cycle<N>.cpu.pprof and cycle<N>.heap.pprof profiles into this directory")
 		faultsOut  = flag.String("faults-out", "", "write the robustness fault ledger as JSONL here at exit")
+		journal    = flag.String("journal", "", "write-ahead trial journal: append every executed attempt (fsynced) so a crashed cycle loses at most the in-flight trial and replays the rest")
+		maxWall    = flag.Float64("max-trial-wall", 0, "hung-trial reaper: wall-clock budget factor per trial (emulated duration × factor; 0 = off)")
+		soak       = flag.Int("soak", 0, "soak mode: run N consecutive cycles carrying circuit-breaker state across cycles, printing breaker status after each (overrides -cycles)")
 	)
 	flag.Parse()
 
@@ -93,6 +104,12 @@ func main() {
 	if *chaosOn {
 		plan := chaos.Default()
 		w.Opts.Chaos = &plan
+	}
+	w.Opts.WallBudget = *maxWall
+	w.JournalPath = *journal
+	soakMode := *soak > 0
+	if soakMode {
+		*cycles = *soak
 	}
 	if *svcFilter != "" {
 		var keep []services.Service
@@ -250,10 +267,27 @@ func main() {
 		if s := ledger.Summary(); s != "" {
 			fmt.Printf("fault ledger: %s\n\n", s)
 		}
+		if soakMode {
+			fmt.Printf("soak: cycle %d/%d complete; breakers: %s\n\n",
+				cycle, *cycles, breakerSummary(w.Breakers))
+		}
 		if *verbose && reg != nil {
 			fmt.Println(report.MetricsSummary(reg.Snapshot()))
 		}
 	}
+}
+
+// breakerSummary renders the circuit-breaker set for soak-mode output.
+func breakerSummary(bs *core.BreakerSet) string {
+	infos := bs.Status()
+	if len(infos) == 0 {
+		return "all closed"
+	}
+	parts := make([]string, 0, len(infos))
+	for _, bi := range infos {
+		parts = append(parts, fmt.Sprintf("%s=%s(%.1f)", bi.Service, bi.State, bi.Score))
+	}
+	return strings.Join(parts, " ")
 }
 
 // writeMetrics stores a snapshot at path, choosing the format by

@@ -24,6 +24,7 @@ package chaos
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"prudentia/internal/netem"
 	"prudentia/internal/sim"
@@ -115,6 +116,71 @@ type Config struct {
 	PanicRate   float64
 	ErrorRate   float64
 	CorruptRate float64
+
+	// Brownouts degrade named services to persistent trial failures for
+	// a bounded number of trials each (the "backend went dark for an
+	// afternoon" scenario that circuit breakers exist for). Unlike the
+	// per-seed faults above, a brownout is stateful — it burns one unit
+	// of budget per affected trial in execution order — so which trials
+	// it hits depends on scheduling and it is not part of the
+	// byte-identical replay contract. Use it in acceptance tests and
+	// soak runs, not golden traces.
+	Brownouts []*Brownout
+}
+
+// Brownout is a bounded service outage: every trial involving Service
+// fails with a typed brownout error until Trials attempts have been
+// consumed, after which the service behaves normally again.
+type Brownout struct {
+	// Service is the exact service name affected.
+	Service string
+	// Trials is the outage budget: how many trials fail before recovery.
+	Trials int64
+
+	taken atomic.Int64
+}
+
+// Remaining reports how many failing trials the brownout has left.
+func (b *Brownout) Remaining() int64 {
+	left := b.Trials - b.taken.Load()
+	if left < 0 {
+		return 0
+	}
+	return left
+}
+
+// take consumes one unit of outage budget, reporting false once spent.
+func (b *Brownout) take() bool {
+	for {
+		t := b.taken.Load()
+		if t >= b.Trials {
+			return false
+		}
+		if b.taken.CompareAndSwap(t, t+1) {
+			return true
+		}
+	}
+}
+
+// BrownoutFor checks the given service names against the plan's active
+// brownouts. On a match with remaining budget it consumes one failing
+// trial and returns the affected service's name; otherwise it returns
+// "". Safe on a nil Config.
+func (c *Config) BrownoutFor(names ...string) string {
+	if c == nil || len(c.Brownouts) == 0 {
+		return ""
+	}
+	for _, b := range c.Brownouts {
+		if b == nil {
+			continue
+		}
+		for _, n := range names {
+			if n == b.Service && b.take() {
+				return b.Service
+			}
+		}
+	}
+	return ""
 }
 
 // Default returns a representative all-classes plan used by demos and
@@ -140,7 +206,8 @@ func (c *Config) Enabled() bool {
 	if c == nil {
 		return false
 	}
-	return c.simEnabled() || c.PanicRate > 0 || c.ErrorRate > 0 || c.CorruptRate > 0
+	return c.simEnabled() || c.PanicRate > 0 || c.ErrorRate > 0 || c.CorruptRate > 0 ||
+		len(c.Brownouts) > 0
 }
 
 func (c *Config) simEnabled() bool {

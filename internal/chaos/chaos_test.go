@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"prudentia/internal/netem"
@@ -179,5 +180,57 @@ func TestScheduleIndependence(t *testing.T) {
 	close(errc)
 	for msg := range errc {
 		t.Error("schedule-dependent chaos decision: " + msg)
+	}
+}
+
+// TestBrownoutBudget: a brownout consumes exactly Trials units, only
+// for matching names, and reports recovery via Remaining.
+func TestBrownoutBudget(t *testing.T) {
+	b := &Brownout{Service: "S", Trials: 3}
+	c := &Config{Brownouts: []*Brownout{b}}
+	if !c.Enabled() {
+		t.Fatal("brownout plan not Enabled")
+	}
+	if got := c.BrownoutFor("other"); got != "" {
+		t.Fatalf("non-matching name consumed brownout: %q", got)
+	}
+	for i := 0; i < 3; i++ {
+		if got := c.BrownoutFor("other", "S"); got != "S" {
+			t.Fatalf("attempt %d: got %q", i, got)
+		}
+	}
+	if got := c.BrownoutFor("S"); got != "" {
+		t.Fatalf("budget overrun: %q", got)
+	}
+	if b.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", b.Remaining())
+	}
+	var nilCfg *Config
+	if got := nilCfg.BrownoutFor("S"); got != "" {
+		t.Fatalf("nil config: %q", got)
+	}
+}
+
+// TestBrownoutConcurrentBudget: concurrent consumers never overrun the
+// budget.
+func TestBrownoutConcurrentBudget(t *testing.T) {
+	b := &Brownout{Service: "S", Trials: 100}
+	c := &Config{Brownouts: []*Brownout{b}}
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if c.BrownoutFor("S") != "" {
+					hits.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hits.Load() != 100 {
+		t.Fatalf("consumed %d of 100 budget units", hits.Load())
 	}
 }

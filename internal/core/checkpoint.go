@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"prudentia/internal/obs"
 )
 
 // Checkpoint is the crash-safe serialization of an in-progress watchdog
@@ -22,14 +24,27 @@ type Checkpoint struct {
 	Calibration []map[string]float64 `json:"calibration"`
 	// Pairs[si] maps pairKey → completed outcome for setting si.
 	Pairs []map[string]*PairOutcome `json:"pairs"`
+	// Breakers snapshots the per-service circuit-breaker state at the
+	// last flush, so a resumed cycle restores health scores instead of
+	// forgetting every past failure.
+	Breakers []obs.BreakerInfo `json:"breakers,omitempty"`
+	// OpenServices[si] records the admission decision made when setting
+	// si's matrix started: the sorted list of services whose breakers
+	// were open (possibly empty but non-nil once the setting started).
+	// Resume adopts the stored decision verbatim — including skipping
+	// the canary probes that already ran — so an interrupted cycle
+	// cannot re-litigate admission and diverge from the uninterrupted
+	// run.
+	OpenServices [][]string `json:"open_services,omitempty"`
 }
 
 // newCheckpoint returns an empty checkpoint sized for nSettings.
 func newCheckpoint(cycle, nSettings int) *Checkpoint {
 	cp := &Checkpoint{
-		Cycle:       cycle,
-		Calibration: make([]map[string]float64, nSettings),
-		Pairs:       make([]map[string]*PairOutcome, nSettings),
+		Cycle:        cycle,
+		Calibration:  make([]map[string]float64, nSettings),
+		Pairs:        make([]map[string]*PairOutcome, nSettings),
+		OpenServices: make([][]string, nSettings),
 	}
 	for i := range cp.Pairs {
 		cp.Pairs[i] = make(map[string]*PairOutcome)
@@ -37,9 +52,13 @@ func newCheckpoint(cycle, nSettings int) *Checkpoint {
 	return cp
 }
 
-// SaveCheckpoint writes the checkpoint atomically (temp file + rename in
-// the destination directory), so a crash mid-write never truncates the
-// previous good checkpoint.
+// SaveCheckpoint writes the checkpoint atomically and durably: temp
+// file in the destination directory, fsync, rename, then fsync of the
+// parent directory. A crash mid-write never truncates the previous
+// good checkpoint, and — unlike a bare rename, which only survives a
+// process crash — the renamed file survives a machine crash too: the
+// file fsync persists its contents, the directory fsync persists the
+// name pointing at them.
 func SaveCheckpoint(path string, cp *Checkpoint) error {
 	data, err := json.MarshalIndent(cp, "", "  ")
 	if err != nil {
@@ -56,6 +75,11 @@ func SaveCheckpoint(path string, cp *Checkpoint) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("core: write checkpoint: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("core: sync checkpoint: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("core: close checkpoint: %w", err)
@@ -63,6 +87,12 @@ func SaveCheckpoint(path string, cp *Checkpoint) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("core: commit checkpoint: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Directory fsync is best-effort: some filesystems reject it,
+		// and the rename itself is already atomic.
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }

@@ -17,6 +17,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
+	"time"
 
 	"prudentia/internal/browser"
 	"prudentia/internal/chaos"
@@ -60,6 +62,12 @@ type Spec struct {
 	// hooks; trace collectors can use it the same way. It must not start
 	// traffic or advance the engine.
 	Observe func(*netem.Testbed)
+	// Abort, if non-nil, is installed on the trial's engine: setting it
+	// true makes an in-progress run panic with sim.Aborted, which the
+	// panic barrier converts into a "reap" TrialError. The hung-trial
+	// reaper (runTrialBudgeted) owns this flag; most callers leave it
+	// nil.
+	Abort *atomic.Bool
 }
 
 // DefaultTiming applies the paper's trial timing: 10 minutes total,
@@ -197,11 +205,24 @@ func RunTrial(spec Spec) (TrialResult, error) {
 	if err := spec.Validate(); err != nil {
 		return TrialResult{}, err
 	}
+	// Brownouts fail the trial before any simulation is built: the
+	// service's backend is "down", so there is nothing to measure.
+	if spec.Chaos != nil && len(spec.Chaos.Brownouts) > 0 {
+		names := []string{spec.Incumbent.Name()}
+		if spec.Contender != nil {
+			names = append(names, spec.Contender.Name())
+		}
+		if svc := spec.Chaos.BrownoutFor(names...); svc != "" {
+			return TrialResult{}, &TrialError{Kind: "brownout", Seed: spec.Seed,
+				Msg: "chaos: service brownout: " + svc}
+		}
+	}
 	fault := spec.Chaos.TrialFault(spec.Seed)
 	if fault == chaos.FaultError {
 		return TrialResult{}, &TrialError{Kind: "error", Seed: spec.Seed, Msg: "chaos: injected trial error"}
 	}
 	eng := sim.NewEngine()
+	eng.SetAbort(spec.Abort)
 	rng := sim.NewRNG(spec.Seed)
 	tb := netem.NewTestbed(eng, spec.Net, rng.Split())
 	if spec.Chaos != nil {
@@ -365,10 +386,61 @@ func (r TrialResult) Validate() error {
 func runTrialSafe(spec Spec) (res TrialResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			if ab, ok := r.(sim.Aborted); ok {
+				err = &TrialError{Kind: "reap", Seed: spec.Seed,
+					Msg: fmt.Sprintf("trial reaped at sim time %v", ab.At)}
+				return
+			}
 			err = &TrialError{Kind: "panic", Seed: spec.Seed, Msg: fmt.Sprint(r)}
 		}
 	}()
 	return RunTrial(spec)
+}
+
+// runTrialBudgeted is runTrialSafe under a wall-clock deadline: the
+// trial runs on its own goroutine, and if it has not finished within
+// budget the reaper trips the engine's abort flag and returns a typed
+// "reap" TrialError immediately. The abandoned goroutine exits on its
+// own within 1024 events of the flag flip (an eventful hang), or — for
+// a hard wedge inside a single event callback — keeps running detached;
+// its result, if any ever arrives, is discarded, since nothing else
+// references its private engine and testbed. A budget <= 0 disables
+// reaping.
+func runTrialBudgeted(spec Spec, budget time.Duration) (TrialResult, error) {
+	if budget <= 0 {
+		return runTrialSafe(spec)
+	}
+	var abort atomic.Bool
+	spec.Abort = &abort
+	type outcome struct {
+		res TrialResult
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: a late finisher never blocks
+	go func() {
+		res, err := runTrialSafe(spec)
+		ch <- outcome{res, err}
+	}()
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-timer.C:
+		abort.Store(true)
+		return TrialResult{}, &TrialError{Kind: "reap", Seed: spec.Seed,
+			Msg: fmt.Sprintf("trial exceeded wall budget %v", budget)}
+	}
+}
+
+// wallBudget converts the scheduler's WallBudget factor into this
+// spec's absolute wall-clock deadline: emulated duration × factor.
+// Zero (reaper disabled) if no factor is configured.
+func wallBudget(spec Spec, factor float64) time.Duration {
+	if factor <= 0 {
+		return 0
+	}
+	return time.Duration(spec.Duration.Seconds() * factor * float64(time.Second))
 }
 
 // RunSolo measures a service alone (the calibration runs Prudentia uses

@@ -31,6 +31,8 @@ func (w *Watchdog) BuildManifest(cr *CycleResult, reg *obs.Registry) obs.Manifes
 		m.Cycle = len(w.cycles) + 1
 		m.Interrupted = true
 	}
+	m.Breakers = w.Breakers.Status()
+	m.Journal = w.lastJournal
 	if reg != nil {
 		m.Metrics = reg.Snapshot()
 	}

@@ -44,6 +44,24 @@ type Matrix struct {
 	// makes a resumed matrix identical to an uninterrupted one.
 	Completed map[string]*PairOutcome
 
+	// SkipService, if non-nil, denies admission by service name: every
+	// pair with a member the hook rejects is marked Skipped (rendered
+	// ○○) and released immediately, without running a single trial.
+	// The watchdog supplies the circuit-breaker open set here; the
+	// decision is evaluated once, during matrix construction, so
+	// mid-matrix breaker trips cannot perturb an in-flight matrix.
+	SkipService func(name string) bool
+
+	// Journal, if non-nil, is the cycle's write-ahead trial journal
+	// sink: every executed attempt is recorded, and recovered attempts
+	// replay by seed instead of re-simulating.
+	Journal *journalSink
+
+	// Breakers, if non-nil, accumulates per-service health scores from
+	// finished pairs on the canonical release path (deterministic for
+	// any worker count).
+	Breakers *BreakerSet
+
 	// Interrupt, if non-nil, is polled between trials; returning true
 	// stops the matrix with ErrInterrupted after draining the trials in
 	// flight. Must be concurrency-safe when Workers > 1.
@@ -98,6 +116,24 @@ func (m *Matrix) Run() (*MatrixResult, error) {
 				res.Pairs[key] = done
 				continue
 			}
+			if open, skip := m.skipPair(i, j); skip {
+				out := &PairOutcome{
+					Incumbent: m.Services[i].Name(),
+					Contender: m.Services[j].Name(),
+					Skipped:   true,
+				}
+				res.Pairs[key] = out
+				label := out.Incumbent + " vs " + out.Contender
+				m.Obs.pairSkipped(label, open)
+				m.fault(FaultEvent{Pair: label, Kind: "breaker_skip", Detail: "breaker open: " + open})
+				if m.OnPair != nil {
+					m.OnPair(key, out)
+				}
+				if m.Progress != nil {
+					m.Progress("pair %s: SKIPPED (breaker open: %s)", label, open)
+				}
+				continue
+			}
 			st := &pairState{
 				a: i, b: j,
 				key:    key,
@@ -128,10 +164,26 @@ func (m *Matrix) fault(ev FaultEvent) {
 	}
 }
 
+// skipPair reports whether either member of pair (i, j) is denied
+// admission, returning the first denied member's name.
+func (m *Matrix) skipPair(i, j int) (openService string, skip bool) {
+	if m.SkipService == nil {
+		return "", false
+	}
+	if n := m.Services[i].Name(); m.SkipService(n) {
+		return n, true
+	}
+	if n := m.Services[j].Name(); m.SkipService(n) {
+		return n, true
+	}
+	return "", false
+}
+
 // finish reports a pair that reached a final state and flushes it to
 // the checkpoint hook. Called on the canonical release path, so the
 // pair_done telemetry it produces is ordered for any worker count.
 func (m *Matrix) finish(st *pairState) {
+	m.Breakers.scorePair(st.outcome)
 	m.Obs.pairDone(st)
 	if m.OnPair != nil {
 		m.OnPair(st.key, st.outcome)
@@ -183,6 +235,9 @@ func (r *MatrixResult) SharePct(incumbent, contender string) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
+	if p.Skipped {
+		return math.Inf(-1), true
+	}
 	if p.Failed {
 		return math.NaN(), true
 	}
@@ -197,6 +252,9 @@ func (r *MatrixResult) Utilization(a, b string) (float64, bool) {
 	p, _, ok := r.Cell(a, b)
 	if !ok {
 		return 0, false
+	}
+	if p.Skipped {
+		return math.Inf(-1), true
 	}
 	if p.Failed {
 		return math.NaN(), true
@@ -213,6 +271,9 @@ func (r *MatrixResult) LossRate(incumbent, contender string) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
+	if p.Skipped {
+		return math.Inf(-1), true
+	}
 	if p.Failed {
 		return math.NaN(), true
 	}
@@ -227,6 +288,9 @@ func (r *MatrixResult) QueueDelayMs(incumbent, contender string) (float64, bool)
 	p, slot, ok := r.Cell(incumbent, contender)
 	if !ok {
 		return 0, false
+	}
+	if p.Skipped {
+		return math.Inf(-1), true
 	}
 	if p.Failed {
 		return math.NaN(), true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"prudentia/internal/obs"
@@ -35,13 +36,26 @@ type Instruments struct {
 	trialsFailed    *obs.Counter
 	failPanic       *obs.Counter
 	failError       *obs.Counter
+	failReap        *obs.Counter
+	failBrownout    *obs.Counter
 	trialsDiscarded *obs.Counter
 	trialsCorrupt   *obs.Counter
 	retries         *obs.Counter
 	quarantines     *obs.Counter
 	pairsCompleted  *obs.Counter
+	pairsSkipped    *obs.Counter
 	calibrations    *obs.Counter
 	checkpointSaves *obs.Counter
+
+	journalRecords  *obs.Counter
+	journalBytes    *obs.Counter
+	journalReplayed *obs.Counter
+	journalTorn     *obs.Counter
+
+	breakerToOpen     *obs.Counter
+	breakerToHalfOpen *obs.Counter
+	breakerToClosed   *obs.Counter
+	breakerProbes     *obs.Counter
 
 	netemArrived   *obs.Counter
 	netemDropped   *obs.Counter
@@ -78,13 +92,26 @@ func NewInstruments(reg *obs.Registry, tl *obs.Timeline) *Instruments {
 		trialsFailed:    reg.Counter("prudentia_trials_failed_total"),
 		failPanic:       reg.Counter(`prudentia_trial_failures_total{kind="panic"}`),
 		failError:       reg.Counter(`prudentia_trial_failures_total{kind="error"}`),
+		failReap:        reg.Counter(`prudentia_trial_failures_total{kind="reap"}`),
+		failBrownout:    reg.Counter(`prudentia_trial_failures_total{kind="brownout"}`),
 		trialsDiscarded: reg.Counter("prudentia_trials_discarded_total"),
 		trialsCorrupt:   reg.Counter("prudentia_trials_corrupt_total"),
 		retries:         reg.Counter("prudentia_trial_retries_total"),
 		quarantines:     reg.Counter("prudentia_pair_quarantines_total"),
 		pairsCompleted:  reg.Counter("prudentia_pairs_completed_total"),
+		pairsSkipped:    reg.Counter("prudentia_pairs_skipped_total"),
 		calibrations:    reg.Counter("prudentia_calibrations_total"),
 		checkpointSaves: reg.Counter("prudentia_checkpoint_saves_total"),
+
+		journalRecords:  reg.Counter("prudentia_journal_records_total"),
+		journalBytes:    reg.Counter("prudentia_journal_bytes_total"),
+		journalReplayed: reg.Counter("prudentia_journal_replayed_total"),
+		journalTorn:     reg.Counter("prudentia_journal_torn_tail_total"),
+
+		breakerToOpen:     reg.Counter(`prudentia_breaker_transitions_total{to="open"}`),
+		breakerToHalfOpen: reg.Counter(`prudentia_breaker_transitions_total{to="half-open"}`),
+		breakerToClosed:   reg.Counter(`prudentia_breaker_transitions_total{to="closed"}`),
+		breakerProbes:     reg.Counter("prudentia_breaker_probes_total"),
 
 		netemArrived:   reg.Counter("prudentia_netem_arrived_packets_total"),
 		netemDropped:   reg.Counter("prudentia_netem_dropped_packets_total"),
@@ -191,32 +218,40 @@ func (in *Instruments) trialFail(pair string, seed uint64, attempt int, kind, ms
 		in.failPanic.Inc()
 	case "error":
 		in.failError.Inc()
+	case "reap":
+		in.failReap.Inc()
+	case "brownout":
+		in.failBrownout.Inc()
 	}
 	wall := in.trialDurations(simSeconds, start)
 	in.emit(obs.TimelineEvent{Kind: "trial_fail", Pair: pair, Seed: seed, Attempt: attempt,
 		WallSeconds: wall, Detail: kind + ": " + msg})
 }
 
-// trialDiscard records a noise-discarded attempt.
-func (in *Instruments) trialDiscard(pair string, seed uint64, attempt int, res *TrialResult, start time.Time) {
+// trialDiscard records a noise-discarded attempt. It takes the bare
+// simulated duration rather than the result: journal-replayed discards
+// carry only their classification, not the discarded metrics.
+func (in *Instruments) trialDiscard(pair string, seed uint64, attempt int, simSeconds float64, start time.Time) {
 	if in == nil {
 		return
 	}
 	in.trialsDiscarded.Inc()
-	wall := in.trialDurations(res.Obs.SimSeconds, start)
+	wall := in.trialDurations(simSeconds, start)
 	in.emit(obs.TimelineEvent{Kind: "trial_discard", Pair: pair, Seed: seed, Attempt: attempt,
-		SimSeconds: res.Obs.SimSeconds, WallSeconds: wall})
+		SimSeconds: simSeconds, WallSeconds: wall})
 }
 
-// trialCorrupt records a validity-gate rejection.
-func (in *Instruments) trialCorrupt(pair string, seed uint64, attempt int, res *TrialResult, detail string, start time.Time) {
+// trialCorrupt records a validity-gate rejection. Like trialDiscard it
+// takes the bare simulated duration: corrupt results can hold NaN and
+// are never carried past classification.
+func (in *Instruments) trialCorrupt(pair string, seed uint64, attempt int, simSeconds float64, detail string, start time.Time) {
 	if in == nil {
 		return
 	}
 	in.trialsCorrupt.Inc()
-	wall := in.trialDurations(res.Obs.SimSeconds, start)
+	wall := in.trialDurations(simSeconds, start)
 	in.emit(obs.TimelineEvent{Kind: "trial_corrupt", Pair: pair, Seed: seed, Attempt: attempt,
-		SimSeconds: res.Obs.SimSeconds, WallSeconds: wall, Detail: detail})
+		SimSeconds: simSeconds, WallSeconds: wall, Detail: detail})
 }
 
 // retry records a backoff-scheduled retry.
@@ -263,6 +298,87 @@ func (in *Instruments) checkpointSaved() {
 	if in != nil {
 		in.checkpointSaves.Inc()
 	}
+}
+
+// journalAppend records one durable journal record of n framed bytes.
+func (in *Instruments) journalAppend(n int64) {
+	if in == nil {
+		return
+	}
+	in.journalRecords.Inc()
+	in.journalBytes.Add(n)
+}
+
+// journalReplay records one attempt served from the recovered journal
+// instead of being re-simulated.
+func (in *Instruments) journalReplay() {
+	if in != nil {
+		in.journalReplayed.Inc()
+	}
+}
+
+// journalRecovered records the outcome of journal recovery at cycle
+// start: how many intact records were found and whether a torn tail
+// was truncated.
+func (in *Instruments) journalRecovered(records int, tornBytes int64) {
+	if in == nil {
+		return
+	}
+	detail := fmt.Sprintf("%d records", records)
+	if tornBytes > 0 {
+		in.journalTorn.Inc()
+		detail = fmt.Sprintf("%d records, %d torn bytes truncated", records, tornBytes)
+	}
+	in.emit(obs.TimelineEvent{Kind: "journal_recovered", Detail: detail})
+}
+
+// breakerTransition records a circuit-breaker state change: a counter
+// by destination state, a per-service state gauge (0 closed,
+// 1 half-open, 2 open), and a timeline event.
+func (in *Instruments) breakerTransition(service string, from, to BreakerState) {
+	if in == nil {
+		return
+	}
+	var kind string
+	switch to {
+	case BreakerOpen:
+		in.breakerToOpen.Inc()
+		kind = "breaker_open"
+	case BreakerHalfOpen:
+		in.breakerToHalfOpen.Inc()
+		kind = "breaker_halfopen"
+	default:
+		in.breakerToClosed.Inc()
+		kind = "breaker_close"
+	}
+	in.Registry.Gauge(fmt.Sprintf("prudentia_breaker_state{service=%q}", service)).Set(float64(to))
+	in.emit(obs.TimelineEvent{Kind: kind, Pair: service,
+		Detail: from.String() + " -> " + to.String()})
+}
+
+// breakerProbe records one canary trial against an ejected service.
+func (in *Instruments) breakerProbe(service string, ok bool) {
+	if in == nil {
+		return
+	}
+	in.breakerProbes.Inc()
+	detail := "failed"
+	if ok {
+		detail = "ok"
+	}
+	in.emit(obs.TimelineEvent{Kind: "breaker_probe", Pair: service, Detail: detail})
+}
+
+// pairSkipped records a pair denied admission because a member's
+// breaker is open. Called from the matrix's canonical construction
+// path, so the events are ordered for any worker count.
+func (in *Instruments) pairSkipped(pair, openService string) {
+	if in == nil {
+		return
+	}
+	in.pairsSkipped.Inc()
+	in.emit(obs.TimelineEvent{Kind: "pair_skipped", Pair: pair,
+		Detail: "breaker open: " + openService})
 }
 
 // poolStats records the worker pool's measured busy fraction (busy

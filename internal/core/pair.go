@@ -34,12 +34,23 @@ type SchedulerOptions struct {
 	// Chaos, if non-nil, arms the deterministic fault plan on every
 	// trial the scheduler runs.
 	Chaos *chaos.Config
+	// WallBudget is the hung-trial reaper's wall-clock budget factor:
+	// each trial may spend at most (emulated duration × WallBudget) of
+	// real time before it is reaped and recorded as a typed "reap"
+	// failure feeding the retry/quarantine machinery. Zero disables
+	// reaping. A simulated trial normally runs orders of magnitude
+	// faster than real time, so even a factor well below 1 only fires
+	// on genuinely wedged trials.
+	WallBudget float64
 }
 
 // IsZero reports whether no field was set. Watchdog.RunCycle applies
 // the per-setting PaperOptions only in that case — a caller who sets
 // any field (for example only Timing) keeps their options, with the
-// remaining fields defaulted.
+// remaining fields defaulted. WallBudget is deliberately excluded: it
+// is a supervision knob orthogonal to the measurement protocol, so
+// setting only it still gets the per-setting paper options (RunCycle
+// carries the budget over).
 func (o SchedulerOptions) IsZero() bool {
 	return o.MinTrials == 0 && o.MaxTrials == 0 && o.Step == 0 &&
 		o.ToleranceMbps == 0 && o.BaseSeed == 0 && o.Timing == nil &&
@@ -126,6 +137,10 @@ type PairOutcome struct {
 	// panicked, so the pair is excluded from this cycle's statistics
 	// and its heatmap cells render as ××.
 	Failed bool
+	// Skipped marks pairs denied admission because a member service's
+	// circuit breaker was open at matrix start: no trials ran at all,
+	// and the heatmap cells render as ○○ (degraded, not failed).
+	Skipped bool
 	// Retries counts failed attempts that were retried with fresh seeds.
 	Retries int
 	// Failures records every failed attempt for the artifact ledger.

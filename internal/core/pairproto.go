@@ -55,6 +55,107 @@ type pairProtocol struct {
 	// timeline events are wall-stamped observability data, not part of
 	// the deterministic output contract.
 	ins *Instruments
+	// sink, when non-nil, is the write-ahead trial journal: every
+	// executed attempt is recorded, and attempts recovered from a
+	// previous process are replayed by seed instead of re-simulated.
+	sink *journalSink
+}
+
+// attemptResult is one executed (or journal-replayed) attempt after
+// classification. Exactly the fields the scheduler needs survive:
+// counted and noise-discarded outcomes are distinguished by class,
+// corrupt results keep only their validity error (their metrics can
+// hold NaN, which neither the journal nor anyone else should carry),
+// and failures keep their typed kind and message.
+type attemptResult struct {
+	// class is "ok", "discard", "corrupt", or "fail".
+	class string
+	// res is the full result for class "ok" only.
+	res TrialResult
+	// detail is the ledger detail line for "discard" (external-loss
+	// summary) and "corrupt" (validity error).
+	detail string
+	// failKind/failMsg carry the typed failure for class "fail".
+	failKind, failMsg string
+	// simSeconds is the simulated duration, for the duration histogram
+	// (zero for failures, matching the pre-journal behaviour).
+	simSeconds float64
+	// replayed marks attempts served from the journal.
+	replayed bool
+}
+
+// classifyAttempt folds a raw trial outcome into an attemptResult.
+// Classification happens exactly once, at execution time — replayed
+// attempts reuse the journaled class instead of re-deriving it, so a
+// resumed cycle cannot re-litigate a past decision.
+func classifyAttempt(res TrialResult, err error, seed uint64) attemptResult {
+	if err != nil {
+		te := asTrialError(err, seed)
+		return attemptResult{class: "fail", failKind: te.Kind, failMsg: te.Msg}
+	}
+	if res.Discarded {
+		return attemptResult{class: "discard",
+			detail:     fmt.Sprintf("external loss %.4f%%", 100*res.ExternalLossRate),
+			simSeconds: res.Obs.SimSeconds}
+	}
+	if verr := res.Validate(); verr != nil {
+		return attemptResult{class: "corrupt", detail: verr.Error(), simSeconds: res.Obs.SimSeconds}
+	}
+	return attemptResult{class: "ok", res: res, simSeconds: res.Obs.SimSeconds}
+}
+
+// attemptFromEntry rebuilds an attemptResult from a journaled entry.
+func attemptFromEntry(e journalEntry) (attemptResult, bool) {
+	ar := attemptResult{class: e.Kind, detail: e.Detail,
+		failKind: e.FailKind, failMsg: e.Detail,
+		simSeconds: e.SimSeconds, replayed: true}
+	switch e.Kind {
+	case "ok":
+		if err := jsonUnmarshal(e.Result, &ar.res); err != nil {
+			return attemptResult{}, false
+		}
+		ar.simSeconds = ar.res.Obs.SimSeconds
+	case "discard", "corrupt", "fail":
+	default:
+		return attemptResult{}, false
+	}
+	return ar, true
+}
+
+// executeAttempt runs one attempt through the reaper and the journal:
+// a journaled seed replays without simulating; a fresh execution is
+// classified once and journaled. It performs no metric counting —
+// callers own their ledgers, which is what keeps calibration attempts
+// out of the prudentia_trials_* counters.
+func executeAttempt(sink *journalSink, ins *Instruments, opts SchedulerOptions,
+	spec Spec, pair string, attempt int) attemptResult {
+	if sink != nil {
+		if e, ok := sink.lookup(spec.Seed); ok {
+			if ar, valid := attemptFromEntry(e); valid {
+				ins.journalReplay()
+				return ar
+			}
+		}
+	}
+	res, err := runTrialBudgeted(spec, wallBudget(spec, opts.WallBudget))
+	ar := classifyAttempt(res, err, spec.Seed)
+	if sink != nil {
+		e := journalEntry{Seed: spec.Seed, Pair: pair, Attempt: attempt, Kind: ar.class,
+			Detail: ar.detail, FailKind: ar.failKind, SimSeconds: ar.simSeconds}
+		if ar.class == "fail" {
+			e.Detail = ar.failMsg
+			e.SimSeconds = 0
+		}
+		ok := true
+		if ar.class == "ok" {
+			e.Result, ok = marshalResult(&ar.res)
+			e.SimSeconds = 0 // carried inside Result
+		}
+		if ok {
+			sink.record(e, ins)
+		}
+	}
+	return ar
 }
 
 // run drives st until the pair reaches a final state, polling interrupt
@@ -99,13 +200,13 @@ func (pp *pairProtocol) runOne(st *pairState) {
 		}
 		start := pp.ins.now()
 		pp.ins.trialStart(st.pairLabel(), seed, attempt)
-		res, err := runTrialSafe(spec)
-		if err != nil {
-			te := asTrialError(err, seed)
-			pp.ins.trialFail(st.pairLabel(), seed, attempt, te.Kind, te.Msg, 0, start)
+		ar := executeAttempt(pp.sink, pp.ins, pp.opts, spec, st.pairLabel(), attempt)
+		switch ar.class {
+		case "fail":
+			pp.ins.trialFail(st.pairLabel(), seed, attempt, ar.failKind, ar.failMsg, 0, start)
 			st.outcome.Failures = append(st.outcome.Failures,
-				TrialFailure{Attempt: attempt, Seed: seed, Kind: te.Kind, Msg: te.Msg})
-			pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: te.Kind, Attempt: attempt, Seed: seed, Detail: te.Msg})
+				TrialFailure{Attempt: attempt, Seed: seed, Kind: ar.failKind, Msg: ar.failMsg})
+			pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: ar.failKind, Attempt: attempt, Seed: seed, Detail: ar.failMsg})
 			if len(st.outcome.Failures) >= pp.opts.MaxFailures {
 				st.outcome.Failed = true
 				st.done = true
@@ -119,23 +220,21 @@ func (pp *pairProtocol) runOne(st *pairState) {
 					Detail: fmt.Sprintf("backoff %d rounds", st.cooldown)})
 			}
 			return
-		}
-		if res.Discarded {
-			pp.ins.trialDiscard(st.pairLabel(), seed, attempt, &res, start)
+		case "discard":
+			pp.ins.trialDiscard(st.pairLabel(), seed, attempt, ar.simSeconds, start)
 			st.outcome.Discards++
 			pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: "discard", Attempt: attempt, Seed: seed,
-				Detail: fmt.Sprintf("external loss %.4f%%", 100*res.ExternalLossRate)})
+				Detail: ar.detail})
 			if st.outcome.Discards+st.outcome.Corrupt > pp.opts.MaxDiscards {
 				st.outcome.Unstable = true
 				st.done = true
 				return
 			}
 			continue
-		}
-		if verr := res.Validate(); verr != nil {
-			pp.ins.trialCorrupt(st.pairLabel(), seed, attempt, &res, verr.Error(), start)
+		case "corrupt":
+			pp.ins.trialCorrupt(st.pairLabel(), seed, attempt, ar.simSeconds, ar.detail, start)
 			st.outcome.Corrupt++
-			pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: "corrupt", Attempt: attempt, Seed: seed, Detail: verr.Error()})
+			pp.emit(FaultEvent{Pair: st.pairLabel(), Kind: "corrupt", Attempt: attempt, Seed: seed, Detail: ar.detail})
 			if st.outcome.Discards+st.outcome.Corrupt > pp.opts.MaxDiscards {
 				st.outcome.Unstable = true
 				st.done = true
@@ -143,8 +242,8 @@ func (pp *pairProtocol) runOne(st *pairState) {
 			}
 			continue
 		}
-		pp.ins.trialOK(st.pairLabel(), seed, attempt, &res, start)
-		st.outcome.Trials = append(st.outcome.Trials, res)
+		pp.ins.trialOK(st.pairLabel(), seed, attempt, &ar.res, start)
+		st.outcome.Trials = append(st.outcome.Trials, ar.res)
 		return
 	}
 }

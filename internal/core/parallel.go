@@ -60,7 +60,7 @@ func (m *Matrix) runAll(states []*pairState, opts SchedulerOptions) (interrupted
 	nw := workerCount(m.Workers, len(states))
 	if nw <= 1 {
 		for _, st := range states {
-			pp := &pairProtocol{net: m.Net, opts: opts, emit: m.fault, ins: m.Obs}
+			pp := &pairProtocol{net: m.Net, opts: opts, emit: m.fault, ins: m.Obs, sink: m.Journal}
 			if !pp.run(st, m.Interrupt) {
 				return true
 			}
@@ -111,7 +111,7 @@ func (m *Matrix) runAll(states []*pairState, opts SchedulerOptions) (interrupted
 					return
 				}
 				pr := &pairRun{idx: i, st: states[i]}
-				pp := &pairProtocol{net: m.Net, opts: opts, ins: m.Obs,
+				pp := &pairProtocol{net: m.Net, opts: opts, ins: m.Obs, sink: m.Journal,
 					emit: func(ev FaultEvent) { pr.events = append(pr.events, ev) }}
 				var t0 time.Time
 				if m.Obs != nil {

@@ -33,6 +33,19 @@ func pairSeedID(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(
 // disjoint from pair identities.
 func soloSeedID(i int) uint64 { return 1<<63 | uint64(uint32(i)) }
 
+// canarySeedID encodes a circuit-breaker canary probe's identity, in a
+// namespace disjoint from both pairs (top bits 00) and solo calibration
+// (top bit 1). Probes are keyed by service name rather than catalog
+// index so the identity survives catalog reordering between cycles.
+func canarySeedID(name string) uint64 {
+	h := uint64(1469598103934665603) // FNV-64a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return 1<<62 | h>>2
+}
+
 // trialSeed derives the seed for one attempt of one experiment.
 func trialSeed(base, id uint64, attempt int) uint64 {
 	h := mix64(base ^ mix64(id+0x9e3779b97f4a7c15))
@@ -82,10 +95,12 @@ type TrialFailure struct {
 
 // FaultEvent is one entry in the scheduler's live robustness ledger,
 // emitted through Matrix.OnFault / Watchdog.OnFault as faults are
-// detected and handled. Kinds: "panic", "error" (failed attempts),
+// detected and handled. Kinds: "panic", "error", "reap" (hung trial
+// reaped), "brownout" (chaos service brownout) for failed attempts,
 // "retry" (backoff scheduled), "quarantine" (pair failed permanently),
 // "discard" (noise-discarded trial), "corrupt" (validity-gate
-// rejection), "calibration" (solo-run failure).
+// rejection), "calibration" (solo-run failure), "breaker_skip" (pair
+// denied admission because a member's circuit breaker was open).
 type FaultEvent struct {
 	Pair    string `json:"pair"`
 	Kind    string `json:"kind"`

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"prudentia/internal/journal"
 	"prudentia/internal/netem"
 	"prudentia/internal/obs"
 	"prudentia/internal/services"
@@ -47,6 +48,22 @@ type Watchdog struct {
 	// remove it when the cycle completes. A checkpoint-save failure is
 	// reported via Progress but never aborts the cycle.
 	CheckpointPath string
+	// JournalPath, when set, makes RunCycle append every executed trial
+	// attempt — counted, discarded, corrupt, or failed — to a
+	// write-ahead journal (internal/journal) at this path, one fsynced
+	// record per attempt. After a crash, even kill -9, the next RunCycle
+	// recovers the journal, truncates any torn tail, and replays the
+	// recovered attempts by seed instead of re-simulating them: at most
+	// the single in-flight trial is lost. The file is removed when the
+	// cycle completes. Journal open failures degrade to unjournaled
+	// operation (reported via Progress), never abort the cycle.
+	JournalPath string
+	// Breakers holds the per-service circuit breakers (breaker.go). Nil
+	// means RunCycle creates a fresh set on first use; supply one to
+	// tune Threshold or observe transitions. The set persists across
+	// cycles — soak runs carry trip state forward — with closed-state
+	// scores decaying at each cycle end.
+	Breakers *BreakerSet
 	// Interrupt, if non-nil, is polled between trials; returning true
 	// stops RunCycle gracefully with ErrInterrupted after draining
 	// in-flight trials and flushing the checkpoint. Must be
@@ -65,6 +82,7 @@ type Watchdog struct {
 	cycles      []*CycleResult
 	submissions []Submission
 	resume      *Checkpoint
+	lastJournal *obs.JournalInfo
 }
 
 // CycleResult is one complete iteration over all pairs in all settings.
@@ -191,13 +209,17 @@ func (w *Watchdog) flush(cp *Checkpoint) {
 // RunCycle executes one full iteration and appends it to the history.
 // It is crash-safe end to end: trial panics and errors are quarantined
 // per pair, completed state is checkpointed after every pair when
-// CheckpointPath is set, and an Interrupt request returns
-// ErrInterrupted with in-flight trials drained and the checkpoint
-// flushed. A cycle resumed from a checkpoint (see Resume/LoadCheckpoint)
-// produces a CycleResult identical to an uninterrupted run. With
-// Workers > 1 calibrations and pair trials run on a worker pool; the
-// cycle's outputs (and any resumed continuation of it) are byte-
-// identical for every worker count.
+// CheckpointPath is set, every executed attempt is journaled when
+// JournalPath is set, and an Interrupt request returns ErrInterrupted
+// with in-flight trials drained and the checkpoint flushed. A cycle
+// resumed from a checkpoint (see Resume/LoadCheckpoint) produces a
+// CycleResult identical to an uninterrupted run; with a journal, the
+// resumed cycle additionally replays every journaled attempt —
+// including the ones a checkpoint alone would force it to re-simulate —
+// so recovery re-runs strictly less work. With Workers > 1 calibrations
+// and pair trials run on a worker pool; the cycle's outputs (and any
+// resumed continuation of it) are byte-identical for every worker
+// count.
 func (w *Watchdog) RunCycle() (*CycleResult, error) {
 	cr := &CycleResult{Cycle: len(w.cycles) + 1}
 	cp := w.resume
@@ -205,15 +227,64 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 	if cp != nil {
 		cr.Cycle = cp.Cycle
 	}
+	if w.Breakers == nil {
+		w.Breakers = &BreakerSet{}
+	}
+	if w.Breakers.OnTransition == nil {
+		w.Breakers.OnTransition = w.Obs.breakerTransition
+	}
+	sink, jw, rec := w.openJournal()
+	if cp != nil {
+		// The checkpoint's breaker snapshot is the *cycle-start* state;
+		// restoring it and then re-scoring the adopted (or, with a
+		// journal, replayed) work reproduces the uninterrupted run's
+		// breaker evolution exactly.
+		w.Breakers.Restore(cp.Breakers)
+	}
 	live := newCheckpoint(cr.Cycle, len(w.Settings))
+	live.Breakers = w.Breakers.Status()
+	// With a journal, completed work is replayed from it rather than
+	// adopted from the checkpoint: replay drives the full protocol —
+	// ledger events, telemetry, breaker scoring — so the resumed
+	// process's outputs match the uninterrupted run event for event,
+	// not just pair for pair.
+	adopt := cp != nil && sink == nil
 	w.Obs.emit(obs.TimelineEvent{Kind: "cycle_start", Cycle: cr.Cycle,
 		Detail: fmt.Sprintf("%d services, %d settings, resumed=%v", len(w.Services), len(w.Settings), cp != nil)})
+	finishJournal := func() {
+		if jw == nil {
+			return
+		}
+		records, bytes := jw.Stats()
+		w.lastJournal = &obs.JournalInfo{
+			Path:      w.JournalPath,
+			Records:   records,
+			Bytes:     bytes,
+			Replayed:  sink.replayCount(),
+			Recovered: int64(len(rec.Entries)),
+			TornBytes: rec.TornBytes,
+		}
+		jw.Close()
+	}
+	interruptedExit := func(live *Checkpoint) {
+		w.flush(live)
+		finishJournal()
+		w.Obs.emit(obs.TimelineEvent{Kind: "cycle_end", Cycle: cr.Cycle, Detail: "interrupted"})
+	}
+
+	// Canary probes (§breaker.go): every service whose breaker is open
+	// gets exactly one half-open probe trial at cycle start; success
+	// re-admits it for the whole cycle.
+	w.probeOpenServices(sink, cr.Cycle)
+
 	for si, net := range w.Settings {
 		w.Obs.emit(obs.TimelineEvent{Kind: "setting_start", Cycle: cr.Cycle, Setting: si,
 			Detail: fmt.Sprintf("%d Mbps", net.RateBps/1_000_000)})
 		opts := w.Opts
 		if opts.IsZero() {
+			wb := opts.WallBudget
 			opts = PaperOptions(net)
+			opts.WallBudget = wb
 		}
 		opts = opts.withDefaults()
 		// Seed-scope each cycle and setting so re-runs differ but stay
@@ -222,14 +293,25 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 
 		// Solo calibration first (§3.1): detect upstream throttling.
 		var cal map[string]float64
-		if cp != nil && si < len(cp.Calibration) && cp.Calibration[si] != nil {
+		if adopt && si < len(cp.Calibration) && cp.Calibration[si] != nil {
 			cal = cp.Calibration[si]
+			// Re-score adopted calibration omissions so the restored
+			// breakers see the same penalties. A service absent from a
+			// completed map either exhausted its attempt budget
+			// (penalized) or was skipped because its breaker was open
+			// (not penalized) — and the restored breaker state, evolved
+			// through the same adoption sequence, distinguishes the two
+			// exactly as the original run did.
+			for _, svc := range w.Services {
+				if _, ok := cal[svc.Name()]; !ok && w.Breakers.State(svc.Name()) != BreakerOpen {
+					w.Breakers.scoreCalibrationFailure(svc.Name())
+				}
+			}
 		} else {
 			var stopped bool
-			cal, stopped = w.calibrateAll(net, opts)
+			cal, stopped = w.calibrateAll(net, opts, sink)
 			if stopped {
-				w.flush(live)
-				w.Obs.emit(obs.TimelineEvent{Kind: "cycle_end", Cycle: cr.Cycle, Detail: "interrupted"})
+				interruptedExit(live)
 				return nil, ErrInterrupted
 			}
 		}
@@ -238,25 +320,59 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 		cr.Calibration = append(cr.Calibration, cal)
 
 		var completed map[string]*PairOutcome
-		if cp != nil && si < len(cp.Pairs) && len(cp.Pairs[si]) > 0 {
+		if adopt && si < len(cp.Pairs) && len(cp.Pairs[si]) > 0 {
 			completed = cp.Pairs[si]
 			// Carry restored pairs into the live checkpoint so a second
-			// interruption still has them.
+			// interruption still has them, and re-score them in
+			// canonical order (the checkpoint holds a canonical-order
+			// prefix, so the penalty sequence matches the uninterrupted
+			// run's).
 			for k, p := range completed {
 				live.Pairs[si][k] = p
 			}
+			for i := range w.Services {
+				for j := i; j < len(w.Services); j++ {
+					if p := completed[pairKey(i, j)]; p != nil {
+						w.Breakers.scorePair(p)
+					}
+				}
+			}
 		}
+
+		// Admission: decided once, here, before the matrix starts; the
+		// checkpoint stores the decision so a resumed cycle skips
+		// exactly the same pairs.
+		var open []string
+		if cp != nil && si < len(cp.OpenServices) && cp.OpenServices[si] != nil {
+			open = cp.OpenServices[si]
+		} else {
+			open = w.Breakers.OpenServices()
+		}
+		live.OpenServices[si] = append([]string{}, open...)
+		w.flush(live)
+		var skip func(string) bool
+		if len(open) > 0 {
+			openSet := make(map[string]bool, len(open))
+			for _, n := range open {
+				openSet[n] = true
+			}
+			skip = func(name string) bool { return openSet[name] }
+		}
+
 		si := si
 		m := &Matrix{
-			Services:  w.Services,
-			Net:       net,
-			Opts:      opts,
-			Workers:   w.Workers,
-			Progress:  w.Progress,
-			OnFault:   w.OnFault,
-			Interrupt: w.Interrupt,
-			Completed: completed,
-			Obs:       w.Obs,
+			Services:    w.Services,
+			Net:         net,
+			Opts:        opts,
+			Workers:     w.Workers,
+			Progress:    w.Progress,
+			OnFault:     w.OnFault,
+			Interrupt:   w.Interrupt,
+			Completed:   completed,
+			SkipService: skip,
+			Journal:     sink,
+			Breakers:    w.Breakers,
+			Obs:         w.Obs,
 			OnPair: func(key string, out *PairOutcome) {
 				live.Pairs[si][key] = out
 				w.flush(live)
@@ -264,8 +380,7 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 		}
 		res, err := m.Run()
 		if err != nil {
-			w.flush(live)
-			w.Obs.emit(obs.TimelineEvent{Kind: "cycle_end", Cycle: cr.Cycle, Detail: "interrupted"})
+			interruptedExit(live)
 			return nil, err
 		}
 		cr.PerSetting = append(cr.PerSetting, res)
@@ -273,9 +388,95 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 	if w.CheckpointPath != "" {
 		os.Remove(w.CheckpointPath)
 	}
+	finishJournal()
+	if jw != nil && w.JournalPath != "" {
+		os.Remove(w.JournalPath)
+	}
+	w.Breakers.decay()
 	w.cycles = append(w.cycles, cr)
 	w.Obs.emit(obs.TimelineEvent{Kind: "cycle_end", Cycle: cr.Cycle, Detail: "completed"})
 	return cr, nil
+}
+
+// openJournal opens (or creates) the write-ahead journal, recovering
+// any records a previous process left behind. A journal that cannot be
+// opened degrades to unjournaled operation: the journal is a durability
+// optimization, never a correctness dependency.
+func (w *Watchdog) openJournal() (*journalSink, *journal.Writer, journal.Recovery) {
+	if w.JournalPath == "" {
+		return nil, nil, journal.Recovery{}
+	}
+	jw, rec, err := journal.Open(w.JournalPath)
+	if err != nil {
+		if w.Progress != nil {
+			w.Progress("journal open failed (running unjournaled): %v", err)
+		}
+		return nil, nil, journal.Recovery{}
+	}
+	if len(rec.Entries) > 0 || rec.Truncated {
+		w.Obs.journalRecovered(len(rec.Entries), rec.TornBytes)
+		if w.Progress != nil {
+			w.Progress("journal recovered: %d attempts replayable, %d torn bytes truncated",
+				len(rec.Entries), rec.TornBytes)
+		}
+	}
+	return newJournalSink(jw, rec.Entries), jw, rec
+}
+
+// probeOpenServices runs one canary trial for every open breaker, in
+// sorted order, re-admitting services whose probe succeeds. Probes are
+// solo trials in the first setting; their seeds live in the canary
+// namespace with the cycle number as the attempt index, so each cycle
+// probes with a fresh — but journaled, hence replayable — seed. Probes
+// deliberately emit no fault-ledger events (they are supervision, not
+// measurement), so a resumed cycle that re-probes cannot duplicate
+// ledger entries; they surface on the timeline and the
+// prudentia_breaker_probes_total counter instead.
+func (w *Watchdog) probeOpenServices(sink *journalSink, cycle int) {
+	open := w.Breakers.OpenServices()
+	if len(open) == 0 || len(w.Settings) == 0 {
+		return
+	}
+	net := w.Settings[0]
+	opts := w.Opts
+	if opts.IsZero() {
+		wb := opts.WallBudget
+		opts = PaperOptions(net)
+		opts.WallBudget = wb
+	}
+	opts = opts.withDefaults()
+	opts.BaseSeed += uint64(cycle) * 1_000_003
+	for _, name := range open {
+		var svc services.Service
+		for _, s := range w.Services {
+			if s.Name() == name {
+				svc = s
+				break
+			}
+		}
+		if svc == nil {
+			continue // service left the catalog; breaker ages out via decay
+		}
+		w.Breakers.beginProbe(name)
+		seed := trialSeed(opts.BaseSeed, canarySeedID(name), cycle)
+		spec := Spec{Incumbent: svc, Net: net, Seed: seed, Chaos: opts.Chaos}
+		if opts.Timing != nil {
+			spec = opts.Timing(spec)
+		} else {
+			spec = spec.DefaultTiming()
+		}
+		ar := executeAttempt(sink, w.Obs, opts, spec, name+" (canary)", cycle)
+		ok := ar.class == "ok"
+		w.Breakers.probeResult(name, ok)
+		w.Obs.breakerProbe(name, ok)
+		if w.Progress != nil {
+			verdict := "failed; breaker stays open"
+			if ok {
+				verdict = "ok; service re-admitted"
+			}
+			w.Progress("canary probe %s: %s", name, verdict)
+		}
+	}
 }
 
 // calibrateAll measures every catalog service solo for one setting,
@@ -285,7 +486,7 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 // fault events are emitted in catalog order. It reports stopped=true
 // (with the partial map discarded, matching the serial scheduler) when
 // the Interrupt hook fires.
-func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions) (cal map[string]float64, stopped bool) {
+func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions, sink *journalSink) (cal map[string]float64, stopped bool) {
 	cal = make(map[string]float64, len(w.Services))
 	nw := workerCount(w.Workers, len(w.Services))
 	if nw <= 1 {
@@ -293,10 +494,15 @@ func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions) (cal ma
 			if w.interrupted() {
 				return nil, true
 			}
-			mbps, ok := w.calibrate(svc, net, opts, i, w.OnFault)
+			if w.Breakers.State(svc.Name()) == BreakerOpen {
+				continue // open breaker: no solo run, no penalty
+			}
+			mbps, ok := w.calibrate(svc, net, opts, i, sink, w.OnFault)
 			w.Obs.calibrationDone(svc.Name(), ok)
 			if ok {
 				cal[svc.Name()] = mbps
+			} else {
+				w.Breakers.scoreCalibrationFailure(svc.Name())
 			}
 		}
 		return cal, false
@@ -321,6 +527,9 @@ func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions) (cal ma
 	}
 	tasks := make(chan int, len(w.Services))
 	for i := range w.Services {
+		if w.Breakers.State(w.Services[i].Name()) == BreakerOpen {
+			continue // open breaker: no solo run, no penalty
+		}
 		tasks <- i
 	}
 	close(tasks)
@@ -335,7 +544,7 @@ func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions) (cal ma
 					return
 				}
 				cr := &calRun{idx: i}
-				cr.mbps, cr.ok = w.calibrate(w.Services[i], net, opts, i,
+				cr.mbps, cr.ok = w.calibrate(w.Services[i], net, opts, i, sink,
 					func(ev FaultEvent) { cr.events = append(cr.events, ev) })
 				runs <- cr
 			}
@@ -350,7 +559,8 @@ func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions) (cal ma
 	}
 	// Emit buffered fault events in catalog order so the ledger is
 	// byte-identical to a serial calibration pass. Calibration telemetry
-	// rides the same ordered release.
+	// and breaker scoring ride the same ordered release (BreakerSet is
+	// single-goroutine by design).
 	for i, cr := range done {
 		if cr == nil {
 			continue
@@ -363,6 +573,8 @@ func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions) (cal ma
 		w.Obs.calibrationDone(w.Services[i].Name(), cr.ok)
 		if cr.ok {
 			cal[w.Services[i].Name()] = cr.mbps
+		} else {
+			w.Breakers.scoreCalibrationFailure(w.Services[i].Name())
 		}
 	}
 	if stop.Load() {
@@ -372,11 +584,15 @@ func (w *Watchdog) calibrateAll(net netem.Config, opts SchedulerOptions) (cal ma
 }
 
 // calibrate measures one service solo with the same defenses the matrix
-// applies: recovered panics and injected errors retry with fresh seeds,
-// and discarded or corrupt results are skipped. After MaxFailures
-// fruitless attempts the service's calibration entry is omitted for the
-// cycle (reported on the fault ledger) instead of killing the cycle.
-func (w *Watchdog) calibrate(svc services.Service, net netem.Config, opts SchedulerOptions, idx int, emit func(FaultEvent)) (float64, bool) {
+// applies: recovered panics, injected errors, and reaped hangs retry
+// with fresh seeds, and discarded or corrupt results are skipped.
+// Attempts run through executeAttempt, so they are journaled (and
+// replayed on resume) and subject to the wall-clock reaper, but they do
+// no trial counting — calibration stays out of prudentia_trials_*.
+// After MaxFailures fruitless attempts the service's calibration entry
+// is omitted for the cycle (reported on the fault ledger) instead of
+// killing the cycle.
+func (w *Watchdog) calibrate(svc services.Service, net netem.Config, opts SchedulerOptions, idx int, sink *journalSink, emit func(FaultEvent)) (float64, bool) {
 	id := soloSeedID(idx)
 	budget := opts.MaxFailures + opts.MaxDiscards
 	for attempt := 0; attempt < budget; attempt++ {
@@ -387,18 +603,16 @@ func (w *Watchdog) calibrate(svc services.Service, net netem.Config, opts Schedu
 		} else {
 			spec = spec.DefaultTiming()
 		}
-		tr, err := runTrialSafe(spec)
-		if err != nil {
-			te := asTrialError(err, seed)
+		ar := executeAttempt(sink, w.Obs, opts, spec, svc.Name()+" (solo)", attempt)
+		switch ar.class {
+		case "fail":
 			if emit != nil {
-				emit(FaultEvent{Pair: svc.Name() + " (solo)", Kind: te.Kind, Attempt: attempt, Seed: seed, Detail: te.Msg})
+				emit(FaultEvent{Pair: svc.Name() + " (solo)", Kind: ar.failKind, Attempt: attempt, Seed: seed, Detail: ar.failMsg})
 			}
-			continue
+		case "ok":
+			return ar.res.Mbps[0], true
 		}
-		if tr.Discarded || tr.Validate() != nil {
-			continue
-		}
-		return tr.Mbps[0], true
+		// discard / corrupt: skipped, next attempt.
 	}
 	if emit != nil {
 		emit(FaultEvent{Pair: svc.Name() + " (solo)", Kind: "calibration", Attempt: budget,

@@ -1,0 +1,333 @@
+// Package journal implements Prudentia's write-ahead trial journal: an
+// append-only, CRC-framed, fsynced log of every trial attempt the
+// scheduler completes. The checkpoint (internal/core) is flushed at
+// pair granularity, so a crash between flushes loses every trial of the
+// in-flight pair; the journal closes that gap. With both artifacts, a
+// `kill -9` loses at most the single trial that was executing when the
+// process died — resume replays journaled attempts without re-running
+// their simulations and re-runs only what is genuinely missing.
+//
+// # Format: prudentia.journal/1
+//
+// A journal is a sequence of length-prefixed, checksummed frames:
+//
+//	+------------+------------+--------------------+
+//	| len uint32 | crc uint32 | payload (len bytes)|
+//	| big-endian | IEEE(payload)                   |
+//	+------------+------------+--------------------+
+//
+// The first frame's payload is the header record
+// {"schema":"prudentia.journal/1"}; every subsequent payload is one
+// JSON-encoded Entry. Appends are fsynced before they are acknowledged,
+// so an acknowledged record survives power loss.
+//
+// Recovery scans frames from the start and stops at the first frame
+// that is short (torn by a crash mid-append) or whose CRC does not
+// match (tail corruption or a bit flip); the file is truncated back to
+// the last whole valid frame and appending resumes there. Everything
+// before the truncation point is intact — CRC verification means a
+// corrupt middle cannot be silently replayed as good data; it becomes
+// the new tail.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Schema identifies the journal format; bump on breaking change.
+const Schema = "prudentia.journal/1"
+
+// frameHeader is the per-record overhead: 4-byte length + 4-byte CRC.
+const frameHeader = 8
+
+// maxRecord bounds a single payload so a corrupt length prefix cannot
+// demand an absurd allocation during recovery.
+const maxRecord = 16 << 20
+
+// Entry is one journaled trial attempt. Seed is the replay key: every
+// trial seed is a pure function of (BaseSeed, experiment identity,
+// attempt), so a resumed cycle asks the journal "do you already know
+// seed S?" before simulating. Pair and Attempt are carried for humans
+// and post-mortem tooling, not for lookup.
+type Entry struct {
+	// Seed is the trial seed — the unique replay key.
+	Seed uint64 `json:"seed"`
+	// Pair labels the experiment ("A vs B", "A (solo)", "A (canary)").
+	Pair string `json:"pair,omitempty"`
+	// Attempt is the per-experiment attempt index the seed derives from.
+	Attempt int `json:"attempt"`
+	// Kind classifies the attempt outcome: "ok" (counted trial),
+	// "discard" (noise-discarded), "corrupt" (validity-gate rejection),
+	// or "fail" (error or recovered panic).
+	Kind string `json:"kind"`
+	// Result carries the caller's serialized trial result for "ok" and
+	// "discard" entries (the journal does not interpret it).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Detail carries the validity error for "corrupt" and the failure
+	// message for "fail".
+	Detail string `json:"detail,omitempty"`
+	// FailKind is the typed failure class for "fail" entries
+	// ("panic", "error", "reap", "brownout", ...).
+	FailKind string `json:"fail_kind,omitempty"`
+	// SimSeconds preserves the simulated duration for entries whose
+	// Result is not stored (corrupt results can hold NaN, which JSON
+	// cannot carry), so replay feeds histograms identically.
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+}
+
+// header is the first frame of every journal.
+type header struct {
+	Schema string `json:"schema"`
+}
+
+// Recovery reports what Open found on disk.
+type Recovery struct {
+	// Entries are the intact records, in append order.
+	Entries []Entry
+	// TornBytes is how many trailing bytes were truncated (0 for a
+	// clean journal).
+	TornBytes int64
+	// Truncated reports whether a torn or corrupt tail was removed.
+	Truncated bool
+}
+
+// Writer appends framed, fsynced entries to a journal file. It is safe
+// for concurrent use; a nil *Writer is a no-op whose Append reports
+// nothing written. Write errors are sticky: after the first failure
+// every Append returns the same error without touching the file, so a
+// watchdog with a broken disk degrades to unjournaled operation instead
+// of dying.
+type Writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	records int64
+	bytes   int64
+	err     error
+}
+
+// Stats returns the records and bytes appended by this writer (not
+// counting what recovery found already on disk).
+func (w *Writer) Stats() (records, bytes int64) {
+	if w == nil {
+		return 0, 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.bytes
+}
+
+// Err returns the sticky write error, if any.
+func (w *Writer) Err() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// frame encodes one payload as a journal frame.
+func frame(payload []byte) []byte {
+	buf := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeader:], payload)
+	return buf
+}
+
+// syncDir fsyncs a directory so a just-created or just-truncated file's
+// metadata survives power loss. Errors are returned for the caller to
+// decide; some filesystems reject directory fsync, which callers treat
+// as best-effort.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Create makes a new journal at path (truncating any previous one),
+// writes the schema header, and fsyncs both the file and its directory
+// before returning.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create %s: %w", path, err)
+	}
+	hdr, err := json.Marshal(header{Schema: Schema})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: marshal header: %w", err)
+	}
+	if _, err := f.Write(frame(hdr)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: write header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: sync header: %w", err)
+	}
+	// Directory fsync is what makes the file itself durable (the
+	// rename/creation lives in the directory's data blocks).
+	_ = syncDir(filepath.Dir(path))
+	return &Writer{f: f}, nil
+}
+
+// Open recovers the journal at path and positions a writer at its end.
+// A missing file is created fresh. A torn or corrupt tail is truncated
+// (and the truncation fsynced) before appending resumes; the returned
+// Recovery reports the intact entries and how much was cut.
+func Open(path string) (*Writer, Recovery, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		w, cerr := Create(path)
+		return w, Recovery{}, cerr
+	}
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	payloads, good := scanFrames(data)
+	if len(payloads) == 0 {
+		// Not even a whole header frame: the file carries no intact
+		// records, so rebuilding from scratch loses nothing.
+		w, cerr := Create(path)
+		if cerr != nil {
+			return nil, Recovery{}, cerr
+		}
+		return w, Recovery{TornBytes: int64(len(data)), Truncated: len(data) > 0}, nil
+	}
+	var hdr header
+	if err := json.Unmarshal(payloads[0], &hdr); err != nil || hdr.Schema != Schema {
+		return nil, Recovery{}, fmt.Errorf("journal: %s is not a %s file", path, Schema)
+	}
+	rec := Recovery{}
+	for i, p := range payloads[1:] {
+		var e Entry
+		if err := json.Unmarshal(p, &e); err != nil {
+			// A frame that passes CRC but does not parse marks the end
+			// of the trustworthy prefix; cut from here.
+			good = frameOffset(data, i+1)
+			break
+		}
+		rec.Entries = append(rec.Entries, e)
+	}
+	rec.TornBytes = int64(len(data)) - good
+	rec.Truncated = rec.TornBytes > 0
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("journal: reopen %s: %w", path, err)
+	}
+	if rec.Truncated {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, Recovery{}, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, Recovery{}, fmt.Errorf("journal: sync truncation of %s: %w", path, err)
+		}
+		_ = syncDir(filepath.Dir(path))
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, Recovery{}, fmt.Errorf("journal: seek %s: %w", path, err)
+	}
+	return &Writer{f: f}, rec, nil
+}
+
+// scanFrames walks data frame by frame, returning the intact payloads
+// and the byte offset of the end of the last intact frame.
+func scanFrames(data []byte) (payloads [][]byte, good int64) {
+	off := 0
+	for {
+		if off+frameHeader > len(data) {
+			return payloads, int64(off)
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		if n > maxRecord || off+frameHeader+n > len(data) {
+			return payloads, int64(off)
+		}
+		want := binary.BigEndian.Uint32(data[off+4 : off+8])
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != want {
+			return payloads, int64(off)
+		}
+		payloads = append(payloads, payload)
+		off += frameHeader + n
+	}
+}
+
+// frameOffset returns the byte offset where frame index i starts
+// (counting the header frame as index 0). Only called for indices the
+// scanner already validated.
+func frameOffset(data []byte, i int) int64 {
+	off := 0
+	for k := 0; k < i; k++ {
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		off += frameHeader + n
+	}
+	return int64(off)
+}
+
+// Append journals one entry: frame, write, fsync. The entry is durable
+// when Append returns nil.
+func (w *Writer) Append(e Entry) error {
+	if w == nil {
+		return nil
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: marshal entry: %w", err)
+	}
+	buf := frame(payload)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		w.err = fmt.Errorf("journal: append: %w", err)
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("journal: sync: %w", err)
+		return w.err
+	}
+	w.records++
+	w.bytes += int64(len(buf))
+	return nil
+}
+
+// Close releases the file. The journal needs no finalization: every
+// acknowledged append is already durable.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.err
+	}
+	err := w.f.Close()
+	w.f = nil
+	if w.err == nil {
+		w.err = err
+	} else {
+		err = w.err
+	}
+	return err
+}

@@ -34,7 +34,42 @@ type Manifest struct {
 	ChaosEnabled bool `json:"chaos_enabled"`
 	Interrupted  bool `json:"interrupted"`
 
+	// Breakers is the per-service circuit-breaker state at cycle end
+	// (empty when the supervision layer is disabled or all healthy
+	// services stayed scoreless).
+	Breakers []BreakerInfo `json:"breakers,omitempty"`
+	// Journal summarizes the cycle's write-ahead trial journal, when one
+	// was enabled.
+	Journal *JournalInfo `json:"journal,omitempty"`
+
 	Metrics Snapshot `json:"metrics"`
+}
+
+// BreakerInfo is one service's circuit-breaker state, as carried in the
+// manifest and in cycle checkpoints (obs stays dependency-free, so the
+// breaker implementation lives upstream in core).
+type BreakerInfo struct {
+	Service string `json:"service"`
+	// State is "closed", "half-open", or "open".
+	State string `json:"state"`
+	// Score is the accumulated health penalty; closed breakers trip
+	// open at the configured threshold.
+	Score float64 `json:"score"`
+}
+
+// JournalInfo summarizes a cycle's write-ahead trial journal.
+type JournalInfo struct {
+	Path string `json:"path"`
+	// Records/Bytes count what this process appended.
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// Replayed counts attempts served from the recovered journal
+	// instead of being re-simulated.
+	Replayed int64 `json:"replayed"`
+	// Recovered counts intact records found on disk at open.
+	Recovered int64 `json:"recovered"`
+	// TornBytes is how much torn tail recovery truncated.
+	TornBytes int64 `json:"torn_bytes,omitempty"`
 }
 
 // NewManifest stamps schema, time, toolchain, and VCS revision.

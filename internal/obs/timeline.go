@@ -21,7 +21,9 @@ type TimelineEvent struct {
 	WallMs int64 `json:"wall_ms"`
 	// Kind labels the event: cycle_start, setting_start, calibration_done,
 	// trial_start, trial_ok, trial_fail, trial_discard, trial_corrupt,
-	// pair_done, checkpoint, cycle_end.
+	// pair_done, pair_skipped, checkpoint, journal_recovered,
+	// breaker_open, breaker_halfopen, breaker_close, breaker_probe,
+	// cycle_end.
 	Kind string `json:"kind"`
 	// Cycle is the 1-based watchdog cycle number.
 	Cycle int `json:"cycle,omitempty"`

@@ -17,7 +17,9 @@ import (
 // CellFunc supplies one heatmap value: the measurement for incumbent
 // (column) against contender (row). ok=false renders a blank; NaN
 // renders ×× (a quarantined pair — the watchdog gave up on it after
-// repeated trial failures, rather than aborting the matrix).
+// repeated trial failures, rather than aborting the matrix); -Inf
+// renders ○○ (a degraded pair — skipped without running a trial
+// because a member service's circuit breaker was open).
 type CellFunc func(incumbent, contender string) (float64, bool)
 
 // Heatmap renders a contender-rows × incumbent-columns table, matching
@@ -51,6 +53,12 @@ func Heatmap(title string, names []string, cell CellFunc, format string) string 
 				// bytes, so pad by rune count rather than %*s.
 				b.WriteString(strings.Repeat(" ", colW-2))
 				b.WriteString("××")
+				continue
+			}
+			if math.IsInf(v, -1) {
+				// Breaker-skipped cell, same rune-count padding.
+				b.WriteString(strings.Repeat(" ", colW-2))
+				b.WriteString("○○")
 				continue
 			}
 			fmt.Fprintf(&b, fmt.Sprintf("%%%d%s", colW, format), v)

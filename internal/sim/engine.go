@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Event is a callback scheduled to run at a specific virtual time.
 type Event func(now Time)
@@ -88,7 +91,33 @@ type Engine struct {
 	events []scheduled
 	// Ran counts executed events, useful for budget checks in tests.
 	ran uint64
+	// abort, when set, is polled by the run loops (see SetAbort).
+	abort *atomic.Bool
 }
+
+// Aborted is the panic value the run loops raise when an external
+// supervisor trips the abort flag installed with SetAbort. It carries
+// the virtual time the run had reached. Callers that arm an abort flag
+// must be prepared to recover it (the watchdog's trial panic barrier
+// converts it into a typed reap failure).
+type Aborted struct {
+	// At is the virtual time at which the abort was observed.
+	At Time
+}
+
+// Error makes Aborted usable as an error value after recovery.
+func (a Aborted) Error() string {
+	return fmt.Sprintf("sim: run aborted at %v", a.At)
+}
+
+// SetAbort installs an externally-owned abort flag. The run loops poll
+// it every 1024 dispatched events — cheap enough to leave the hot path
+// allocation- and contention-free, tight enough that any *eventful*
+// runaway simulation stops promptly — and raise Aborted when it reads
+// true. A hard wedge inside a single event callback cannot be
+// interrupted this way; supervisors must abandon the goroutine instead
+// (see the core reaper). Passing nil removes the flag.
+func (e *Engine) SetAbort(flag *atomic.Bool) { e.abort = flag }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
@@ -281,6 +310,9 @@ func (e *Engine) Step() bool {
 // scheduled after deadline remain queued.
 func (e *Engine) RunUntil(deadline Time) {
 	for len(e.events) > 0 && e.events[0].at <= deadline {
+		if e.abort != nil && e.ran&1023 == 0 && e.abort.Load() {
+			panic(Aborted{At: e.now})
+		}
 		e.Step()
 	}
 	if e.now < deadline {
@@ -292,6 +324,10 @@ func (e *Engine) RunUntil(deadline Time) {
 // RunUntil with an explicit horizon; Run exists for self-terminating
 // workloads such as fixed-size file downloads in tests.
 func (e *Engine) Run() {
-	for e.Step() {
+	for len(e.events) > 0 {
+		if e.abort != nil && e.ran&1023 == 0 && e.abort.Load() {
+			panic(Aborted{At: e.now})
+		}
+		e.Step()
 	}
 }

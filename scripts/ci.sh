@@ -8,6 +8,10 @@
 #   scripts/ci.sh          full budget (local pre-merge gate)
 #   scripts/ci.sh -short   reduced budget for CI runners: -short tests,
 #                          5s fuzz, tighter race timeout
+#   scripts/ci.sh -soak    durability soak suite only: the randomized
+#                          SIGKILL loop against the real binary plus a
+#                          journaled multi-cycle soak run. Gated behind
+#                          PRUDENTIA_SOAK=1 so local runs stay fast.
 #
 # Environment:
 #   CI_REQUIRE_TOOLS=1   make missing staticcheck/govulncheck fatal
@@ -15,13 +19,21 @@
 #                        tools are optional and skipped with a warning)
 #   CI_ARTIFACT_DIR      where failure/acceptance artifacts land
 #                        (default ci-artifacts/)
+#   PRUDENTIA_SOAK=1     actually run the -soak suite (the GitHub
+#                        workflow's soak step sets it; without it -soak
+#                        is a no-op skip)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SHORT=0
-if [ "${1:-}" = "-short" ]; then
-    SHORT=1
-fi
+SOAK=0
+for arg in "$@"; do
+    case "$arg" in
+        -short) SHORT=1 ;;
+        -soak) SOAK=1 ;;
+        *) echo "usage: scripts/ci.sh [-short|-soak]" >&2; exit 2 ;;
+    esac
+done
 
 ARTIFACTS="${CI_ARTIFACT_DIR:-ci-artifacts}"
 mkdir -p "$ARTIFACTS"
@@ -30,6 +42,36 @@ mkdir -p "$ARTIFACTS"
 # investigator re-run the corpus locally.
 export GOLDEN_DIVERGENCE_OUT="$PWD/$ARTIFACTS/golden-divergence.txt"
 rm -f "$GOLDEN_DIVERGENCE_OUT"
+
+# Durability soak suite (-soak): exercises the write-ahead journal,
+# hung-trial reaper, and circuit breakers against the real binary — the
+# randomized kill -9 loop plus a journaled multi-cycle soak run whose
+# durability files land in $ARTIFACTS. A completed cycle deletes its
+# journal and checkpoint, so any soak-* file left behind after a
+# failure is exactly the post-mortem state worth uploading.
+if [ "$SOAK" -eq 1 ]; then
+    if [ "${PRUDENTIA_SOAK:-0}" != "1" ]; then
+        echo "ci: -soak is gated behind PRUDENTIA_SOAK=1; skipping" >&2
+        exit 0
+    fi
+    go build ./...
+    go test -count=1 -timeout 15m -v \
+        -run 'TestEndToEndKillLoop|TestEndToEndSoak|TestEndToEndReaperFlag' \
+        ./cmd/prudentia
+    go run ./cmd/prudentia -soak 3 -setting high -workers 2 -seed 7 \
+        -services "iPerf (Cubic),iPerf (BBR)" \
+        -journal "$ARTIFACTS/soak-trials.wal" \
+        -checkpoint "$ARTIFACTS/soak-state.json" \
+        -max-trial-wall 1e6 \
+        -faults-out "$ARTIFACTS/soak-faults.jsonl" \
+        -manifest "$ARTIFACTS/soak-manifest.json"
+    [ -s "$ARTIFACTS/soak-manifest.json" ] || {
+        echo "ci: soak run produced no manifest" >&2
+        exit 1
+    }
+    echo "ci: soak suite passed"
+    exit 0
+fi
 
 go build ./...
 go vet ./...
