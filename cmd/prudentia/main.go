@@ -84,6 +84,20 @@ func main() {
 		journal    = flag.String("journal", "", "write-ahead trial journal: append every executed attempt (fsynced) so a crashed cycle loses at most the in-flight trial and replays the rest")
 		maxWall    = flag.Float64("max-trial-wall", 0, "hung-trial reaper: wall-clock budget factor per trial (emulated duration × factor; 0 = off)")
 		soak       = flag.Int("soak", 0, "soak mode: run N consecutive cycles carrying circuit-breaker state across cycles, printing breaker status after each (overrides -cycles)")
+
+		// Fleet mode: one coordinator shards the pair matrix over N
+		// worker processes (prudentia.fleet/1 over TCP); the merged
+		// report is byte-identical to a serial run. Coordinator and
+		// workers must share the experiment flags above — the handshake
+		// fingerprint rejects divergent workers.
+		coordMode   = flag.Bool("coordinator", false, "fleet: shard the pair matrix over TCP workers (-listen, -expect-workers)")
+		listenAddr  = flag.String("listen", "127.0.0.1:9070", "fleet coordinator listen address (use :0 for an ephemeral port with -listen-addr-file)")
+		listenFile  = flag.String("listen-addr-file", "", "fleet: write the coordinator's bound address to this file once listening")
+		expectWork  = flag.Int("expect-workers", 1, "fleet: wait for this many workers before the first cycle")
+		partitions  = flag.Int("chaos-partitions", 0, "fleet chaos: sever up to N worker assignments (coordinator-side; the report stays byte-identical)")
+		workerMode  = flag.Bool("worker", false, "fleet: execute pairs for a coordinator instead of running cycles (-connect)")
+		connectAddr = flag.String("connect", "", "fleet worker: coordinator address (host:port)")
+		workerName  = flag.String("worker-name", "", "fleet worker: stable name for lease accounting (default host-pid)")
 	)
 	flag.Parse()
 
@@ -135,6 +149,23 @@ func main() {
 			fmt.Printf("  "+format+"\n", args...)
 		}
 	}
+
+	// Fleet worker mode: serve pairs for a coordinator and exit. The
+	// watchdog object is fully configured by this point, so the worker
+	// derives options — and therefore trial seeds — exactly as the
+	// coordinator's serial path would. Signals keep their default
+	// (terminate) behaviour: a killed worker's pairs are re-dispatched.
+	if *workerMode {
+		if *submit != "" {
+			if err := w.Submit(*submit, *code); err != nil {
+				fmt.Fprintf(os.Stderr, "prudentia: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		runWorker(w, *connectAddr, *workerName, *workers,
+			fleetFingerprint(w, *quick, *chaosOn, *maxWall))
+	}
+
 	ledger := &trace.FaultLedger{}
 	w.OnFault = ledger.Record
 
@@ -234,6 +265,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("accepted submission %q; it joins the catalog for this run\n", *submit)
+	}
+
+	// Fleet coordinator mode: shard each setting's pair matrix over the
+	// connected workers. Calibrations and canary probes stay local (they
+	// are cheap and feed per-cycle admission decisions); only the pair
+	// matrices fan out.
+	if *coordMode {
+		stopFleet := startCoordinator(w, ledger, reg, *listenAddr, *listenFile,
+			*expectWork, *partitions, fleetFingerprint(w, *quick, *chaosOn, *maxWall))
+		defer stopFleet()
 	}
 
 	for cycle := 1; *cycles == 0 || cycle <= *cycles; cycle++ {

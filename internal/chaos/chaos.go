@@ -126,6 +126,15 @@ type Config struct {
 	// byte-identical replay contract. Use it in acceptance tests and
 	// soak runs, not golden traces.
 	Brownouts []*Brownout
+
+	// Partitions sever the fleet coordinator from named workers for a
+	// bounded number of assignments each (the "switch between racks
+	// lost its mind" scenario that lease re-dispatch exists for). Like
+	// brownouts they are budgeted and stateful, so they are excluded
+	// from the byte-identical replay contract — though the watchdog's
+	// *report* stays byte-identical regardless, because a partitioned
+	// worker's pairs are deterministically re-executed by survivors.
+	Partitions []*WorkerPartition
 }
 
 // Brownout is a bounded service outage: every trial involving Service
@@ -160,6 +169,69 @@ func (b *Brownout) take() bool {
 			return true
 		}
 	}
+}
+
+// WorkerPartition is a bounded coordinator↔worker network partition:
+// assignments to Worker are severed (connection dropped at the
+// coordinator, pair re-queued) until Times units of budget have been
+// consumed, after which the worker may rejoin and serve normally.
+type WorkerPartition struct {
+	// Worker is the exact worker name affected; "" matches any worker.
+	Worker string
+	// Times is the partition budget: how many assignments are severed.
+	Times int64
+	// Rate gates each eligible assignment by hashing its decision seed:
+	// the partition fires when unit(seed) < Rate. Zero or negative
+	// means every eligible assignment fires until the budget is spent.
+	Rate float64
+
+	taken atomic.Int64
+}
+
+// Remaining reports how much partition budget is left.
+func (p *WorkerPartition) Remaining() int64 {
+	left := p.Times - p.taken.Load()
+	if left < 0 {
+		return 0
+	}
+	return left
+}
+
+// take consumes one unit of partition budget, reporting false once spent.
+func (p *WorkerPartition) take() bool {
+	for {
+		t := p.taken.Load()
+		if t >= p.Times {
+			return false
+		}
+		if p.taken.CompareAndSwap(t, t+1) {
+			return true
+		}
+	}
+}
+
+// PartitionFor checks one fleet assignment against the plan's active
+// partitions: worker is the assignee's name and seed the assignment's
+// deterministic decision seed (for Rate gating). On a match with
+// remaining budget it consumes one unit and reports true — the
+// coordinator then severs the worker instead of assigning. Safe on a
+// nil Config.
+func (c *Config) PartitionFor(worker string, seed uint64) bool {
+	if c == nil || len(c.Partitions) == 0 {
+		return false
+	}
+	for _, p := range c.Partitions {
+		if p == nil || (p.Worker != "" && p.Worker != worker) {
+			continue
+		}
+		if p.Rate > 0 && unit(seed, saltPartition) >= p.Rate {
+			continue
+		}
+		if p.take() {
+			return true
+		}
+	}
+	return false
 }
 
 // BrownoutFor checks the given service names against the plan's active
@@ -207,7 +279,7 @@ func (c *Config) Enabled() bool {
 		return false
 	}
 	return c.simEnabled() || c.PanicRate > 0 || c.ErrorRate > 0 || c.CorruptRate > 0 ||
-		len(c.Brownouts) > 0
+		len(c.Brownouts) > 0 || len(c.Partitions) > 0
 }
 
 func (c *Config) simEnabled() bool {
@@ -223,6 +295,8 @@ const (
 	saltCorrupt = 0xc5a7_0003_9e37_79b9
 	saltKind    = 0xc5a7_0004_9e37_79b9
 	saltStream  = 0xc5a7_0005_9e37_79b9
+
+	saltPartition = 0xc5a7_0006_9e37_79b9
 )
 
 // mix is the SplitMix64 finalizer: a bijective avalanche hash.

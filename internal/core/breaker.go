@@ -189,6 +189,28 @@ func (bs *BreakerSet) scorePair(o *PairOutcome) {
 	}
 }
 
+// Penalize adds pts to a member's health score, tripping a closed
+// breaker open at the threshold — the exported form of penalize for
+// out-of-package supervisors. The fleet coordinator reuses BreakerSet
+// keyed by worker name (disconnects and heartbeat timeouts +2, lease
+// expiries +1) to quarantine flapping workers the same way the
+// watchdog quarantines sick services. Like every other method, it is
+// not safe for concurrent use; callers serialize externally.
+func (bs *BreakerSet) Penalize(member string, pts float64) { bs.penalize(member, pts) }
+
+// BeginProbe moves an open breaker to half-open for one canary trial
+// (exported for out-of-package supervisors; see Penalize).
+func (bs *BreakerSet) BeginProbe(member string) { bs.beginProbe(member) }
+
+// ProbeResult settles a half-open breaker: a successful canary closes
+// it with a clean score, a failed one re-opens it (exported for
+// out-of-package supervisors; see Penalize).
+func (bs *BreakerSet) ProbeResult(member string, ok bool) { bs.probeResult(member, ok) }
+
+// Decay ages closed members' scores — the exported form of the
+// cycle-end decay for supervisors that own their own cycle boundary.
+func (bs *BreakerSet) Decay() { bs.decay() }
+
 // scoreCalibrationFailure penalizes a service whose solo calibration
 // exhausted its attempt budget.
 func (bs *BreakerSet) scoreCalibrationFailure(service string) {

@@ -2,12 +2,33 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"prudentia/internal/obs"
 )
+
+// CheckpointSchema identifies the checkpoint format; bump on breaking
+// change. Checkpoints written before the field existed carry no schema
+// and are accepted as version 1.
+const CheckpointSchema = "prudentia.checkpoint/1"
+
+// checkpointSchemaPrefix and checkpointSchemaVersion decompose
+// CheckpointSchema for forward-compat checks.
+const (
+	checkpointSchemaPrefix  = "prudentia.checkpoint/"
+	checkpointSchemaVersion = 1
+)
+
+// ErrFutureCheckpoint marks a checkpoint written by a newer schema
+// version than this build understands. Resuming from it could silently
+// misparse fields this build does not know about, so it is rejected
+// outright instead of being half-adopted.
+var ErrFutureCheckpoint = errors.New("checkpoint schema is newer than this build")
 
 // Checkpoint is the crash-safe serialization of an in-progress watchdog
 // cycle: everything completed so far, flushed to disk after every pair.
@@ -16,6 +37,10 @@ import (
 // the remaining pairs exactly and produces a CycleResult identical to an
 // uninterrupted run.
 type Checkpoint struct {
+	// Schema is CheckpointSchema; SaveCheckpoint stamps it and
+	// LoadCheckpoint rejects future versions (empty is accepted for
+	// pre-schema checkpoints).
+	Schema string `json:"schema,omitempty"`
 	// Cycle is the 1-based cycle number the state belongs to; it scopes
 	// the per-cycle seed offset, so resume must reuse it.
 	Cycle int `json:"cycle"`
@@ -60,6 +85,7 @@ func newCheckpoint(cycle, nSettings int) *Checkpoint {
 // file fsync persists its contents, the directory fsync persists the
 // name pointing at them.
 func SaveCheckpoint(path string, cp *Checkpoint) error {
+	cp.Schema = CheckpointSchema
 	data, err := json.MarshalIndent(cp, "", "  ")
 	if err != nil {
 		return fmt.Errorf("core: marshal checkpoint: %w", err)
@@ -97,10 +123,22 @@ func SaveCheckpoint(path string, cp *Checkpoint) error {
 	return nil
 }
 
-// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint. The
+// schema is probed before the full parse, so a future-version file —
+// whose body this build might misread — is rejected with a clear
+// ErrFutureCheckpoint rather than a confusing field error.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("core: parse checkpoint %s: %w", path, err)
+	}
+	if err := checkCheckpointSchema(path, probe.Schema); err != nil {
 		return nil, err
 	}
 	cp := &Checkpoint{}
@@ -111,4 +149,21 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("core: checkpoint %s has invalid cycle %d", path, cp.Cycle)
 	}
 	return cp, nil
+}
+
+// checkCheckpointSchema validates a checkpoint's schema field,
+// distinguishing a future version (upgrade the binary) from a foreign
+// file. Empty is accepted: checkpoints predating the field are
+// version 1 by definition.
+func checkCheckpointSchema(path, got string) error {
+	if got == "" || got == CheckpointSchema {
+		return nil
+	}
+	if v, ok := strings.CutPrefix(got, checkpointSchemaPrefix); ok {
+		if n, err := strconv.Atoi(v); err == nil && n > checkpointSchemaVersion {
+			return fmt.Errorf("core: checkpoint %s is %q, newer than this build's %q: %w (upgrade the binary or delete the checkpoint to start fresh)",
+				path, got, CheckpointSchema, ErrFutureCheckpoint)
+		}
+	}
+	return fmt.Errorf("core: checkpoint %s has unknown schema %q (want %q)", path, got, CheckpointSchema)
 }

@@ -38,6 +38,17 @@ type Matrix struct {
 	// for concurrent use (it is polled from worker goroutines).
 	Workers int
 
+	// Remote, if non-nil, executes pending pairs on a remote runner
+	// (the fleet coordinator) instead of the local pool; Workers is
+	// then ignored for pair execution. Results are merged through the
+	// same ordered-release path, so output stays byte-identical to a
+	// local run. Cycle and Setting are carried in each PairTask so
+	// workers re-derive the scheduler options — and with them every
+	// trial seed — from their own configuration.
+	Remote  RemoteRunner
+	Cycle   int
+	Setting int
+
 	// Completed maps pairKey → outcomes restored from a checkpoint;
 	// those pairs are adopted verbatim and not re-run, which — because
 	// every trial seed is a pure function of (BaseSeed, pair, attempt) —
@@ -151,6 +162,16 @@ func (m *Matrix) Run() (*MatrixResult, error) {
 		}
 	}
 
+	if m.Remote != nil {
+		interrupted, err := m.runAllRemote(states, opts)
+		if err != nil {
+			return res, err
+		}
+		if interrupted {
+			return res, ErrInterrupted
+		}
+		return res, nil
+	}
 	if m.runAll(states, opts) {
 		return res, ErrInterrupted
 	}

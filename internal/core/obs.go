@@ -254,6 +254,44 @@ func (in *Instruments) trialCorrupt(pair string, seed uint64, attempt int, simSe
 		SimSeconds: simSeconds, WallSeconds: wall, Detail: detail})
 }
 
+// remotePair folds a remotely-executed pair's trial ledger into the
+// registry on the matrix's canonical release path. Fleet workers
+// execute trials in their own processes, so the coordinator cannot
+// observe trial_start/trial_ok as they happen; instead the finished
+// outcome carries exactly the counts needed to preserve the manifest
+// reconciliation identity (started = completed + failed + discarded +
+// corrupt) and the deterministic netem/transport/chaos aggregates.
+// Per-trial timeline events and wall-clock histograms are worker-local
+// and deliberately not reconstructed here.
+func (in *Instruments) remotePair(o *PairOutcome) {
+	if in == nil || o == nil {
+		return
+	}
+	started := int64(len(o.Trials) + len(o.Failures) + o.Discards + o.Corrupt)
+	in.trialsStarted.Add(started)
+	in.trialsCompleted.Add(int64(len(o.Trials)))
+	in.trialsFailed.Add(int64(len(o.Failures)))
+	for _, f := range o.Failures {
+		switch f.Kind {
+		case "panic":
+			in.failPanic.Inc()
+		case "error":
+			in.failError.Inc()
+		case "reap":
+			in.failReap.Inc()
+		case "brownout":
+			in.failBrownout.Inc()
+		}
+	}
+	in.trialsDiscarded.Add(int64(o.Discards))
+	in.trialsCorrupt.Add(int64(o.Corrupt))
+	in.retries.Add(int64(o.Retries))
+	for i := range o.Trials {
+		in.foldObs(o.Trials[i].Obs)
+		in.trialSim.Observe(o.Trials[i].Obs.SimSeconds)
+	}
+}
+
 // retry records a backoff-scheduled retry.
 func (in *Instruments) retry() { // counter only; the ledger carries detail
 	if in != nil {

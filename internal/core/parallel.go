@@ -36,6 +36,59 @@ type pairRun struct {
 	completed bool
 }
 
+// releaser restores determinism at the matrix's output boundary: pairs
+// executed in any order — by the local worker pool or by a remote fleet
+// — are *released* (ledger events, then the OnPair checkpoint hook,
+// then the Progress line) strictly in canonical index order, streamed
+// as the canonical prefix completes. It is shared by the in-process
+// pool (runAll) and the distributed runner (runAllRemote), which is
+// what makes a fleet-wide report byte-identical to a serial run.
+type releaser struct {
+	m       *Matrix
+	next    int
+	pending map[int]*pairRun
+}
+
+func (m *Matrix) newReleaser(n int) *releaser {
+	return &releaser{m: m, pending: make(map[int]*pairRun, n)}
+}
+
+// release delivers one pair's buffered outputs on the caller goroutine.
+func (r *releaser) release(pr *pairRun) {
+	for _, ev := range pr.events {
+		r.m.fault(ev)
+	}
+	r.m.finish(pr.st)
+}
+
+// add accepts a completed pair and releases the canonical prefix.
+func (r *releaser) add(pr *pairRun) {
+	r.pending[pr.idx] = pr
+	for r.pending[r.next] != nil {
+		r.release(r.pending[r.next])
+		delete(r.pending, r.next)
+		r.next++
+	}
+}
+
+// flush releases pairs stranded behind an abandoned index (interrupted
+// runs), still in index order, so no finished work is lost from the
+// checkpoint.
+func (r *releaser) flush() {
+	if len(r.pending) == 0 {
+		return
+	}
+	idxs := make([]int, 0, len(r.pending))
+	for i := range r.pending {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		r.release(r.pending[i])
+	}
+	r.pending = make(map[int]*pairRun)
+}
+
 // workerCount clamps a requested worker count to [1, tasks] (minimum 1
 // even for zero tasks, so callers can treat the result as "serial").
 func workerCount(requested, tasks int) int {
@@ -138,38 +191,16 @@ func (m *Matrix) runAll(states []*pairState, opts SchedulerOptions) (interrupted
 	// OnPair/OnFault/Progress consumers (checkpoint flushes, ledgers)
 	// see the canonical sequence without waiting for the whole matrix —
 	// a crash mid-cycle still finds completed pairs on disk.
-	release := func(pr *pairRun) {
-		for _, ev := range pr.events {
-			m.fault(ev)
-		}
-		m.finish(pr.st)
-	}
-	next := 0
-	pending := make(map[int]*pairRun, len(states))
+	rel := m.newReleaser(len(states))
 	for pr := range runs {
 		if !pr.completed {
 			continue
 		}
-		pending[pr.idx] = pr
-		for pending[next] != nil {
-			release(pending[next])
-			delete(pending, next)
-			next++
-		}
+		rel.add(pr)
 	}
 	// Interrupted runs can strand completed pairs behind an abandoned
-	// index; release them (still in index order) so no finished work is
-	// lost from the checkpoint.
-	if len(pending) > 0 {
-		idxs := make([]int, 0, len(pending))
-		for i := range pending {
-			idxs = append(idxs, i)
-		}
-		sort.Ints(idxs)
-		for _, i := range idxs {
-			release(pending[i])
-		}
-	}
+	// index; release them anyway.
+	rel.flush()
 	if m.Obs != nil {
 		frac := -1.0
 		if elapsed := time.Since(poolStart); elapsed > 0 {

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"prudentia/internal/netem"
+	"prudentia/internal/services"
+)
+
+// Distributed execution seam. The pair matrix is embarrassingly
+// parallel by construction — a pair's outcome is a pure function of
+// (catalog, setting, SchedulerOptions, pair identity) — so executing a
+// pair in another *process* is no different from executing it on
+// another goroutine, provided that process derives the same options and
+// seeds. This file defines the contract between the matrix scheduler
+// and a remote runner (internal/fleet): the scheduler hands out
+// PairTasks, the runner delivers PairTaskResults in any order, and the
+// matrix restores determinism through the same ordered-release path the
+// local worker pool uses, so a fleet-wide report is byte-identical to a
+// serial run at any worker count.
+
+// PairTask identifies one pending pair of one setting's matrix. Cycle
+// and Setting let a worker re-derive the scheduler options (and with
+// them every trial seed) from its own configuration via
+// Watchdog.SettingOptions; A and B are catalog indices (A <= B).
+type PairTask struct {
+	Cycle   int `json:"cycle"`
+	Setting int `json:"setting"`
+	A       int `json:"a"`
+	B       int `json:"b"`
+}
+
+// PairTaskResult delivers one remotely executed pair: the index into
+// the submitted task slice, the finished outcome, and the ledger events
+// the pair protocol emitted, in emission order.
+type PairTaskResult struct {
+	Index   int
+	Outcome *PairOutcome
+	Events  []FaultEvent
+}
+
+// RemoteRunner executes pair tasks somewhere other than the local
+// worker pool — the fleet coordinator implements it over TCP workers.
+type RemoteRunner interface {
+	// RunPairs dispatches tasks and returns a channel that delivers
+	// each task's result exactly once, in any order. The channel closes
+	// when every task has been delivered, or early when the interrupt
+	// hook fires (undelivered tasks are simply not sent; the caller
+	// treats the run as interrupted). The returned error reports only
+	// dispatch-time failures (a closed coordinator), never task
+	// failures — those are ordinary PairOutcomes with Failed set.
+	RunPairs(tasks []PairTask, interrupt func() bool) (<-chan PairTaskResult, error)
+}
+
+// RunPairTask executes the full §3.4 trial-escalation protocol for
+// catalog pair (a, b) in one setting — the fleet worker's entry point.
+// The returned outcome and event stream are byte-identical to the same
+// pair executed inside a local matrix, because every trial seed is a
+// pure function of (opts.BaseSeed, pair identity, attempt).
+func RunPairTask(svcs []services.Service, net netem.Config, opts SchedulerOptions, a, b int) (*PairOutcome, []FaultEvent) {
+	opts = opts.withDefaults()
+	st := &pairState{
+		a: a, b: b,
+		key:    pairKey(a, b),
+		seedID: pairSeedID(a, b),
+		svcA:   svcs[a],
+		svcB:   svcs[b],
+		target: opts.MinTrials,
+		outcome: &PairOutcome{
+			Incumbent: svcs[a].Name(),
+			Contender: svcs[b].Name(),
+		},
+	}
+	var events []FaultEvent
+	pp := &pairProtocol{net: net, opts: opts,
+		emit: func(ev FaultEvent) { events = append(events, ev) }}
+	pp.run(st, nil)
+	return st.outcome, events
+}
+
+// runAllRemote executes every pending pair through m.Remote and merges
+// the results on the canonical release path. Duplicate and
+// re-dispatched executions on the runner's side are invisible here:
+// the runner delivers each task once, and — because re-runs are
+// deterministic — whichever worker's result survives carries the same
+// bytes.
+func (m *Matrix) runAllRemote(states []*pairState, opts SchedulerOptions) (interrupted bool, err error) {
+	_ = opts // seed derivation happens worker-side, from the same options
+	tasks := make([]PairTask, len(states))
+	for i, st := range states {
+		tasks[i] = PairTask{Cycle: m.Cycle, Setting: m.Setting, A: st.a, B: st.b}
+	}
+	ch, err := m.Remote.RunPairs(tasks, m.Interrupt)
+	if err != nil {
+		return false, err
+	}
+	rel := m.newReleaser(len(states))
+	delivered := 0
+	for r := range ch {
+		st := states[r.Index]
+		// The result's outcome replaces the placeholder's fields in
+		// place: res.Pairs already points at st.outcome.
+		*st.outcome = *r.Outcome
+		m.Obs.remotePair(st.outcome)
+		rel.add(&pairRun{idx: r.Index, st: st, events: r.Events, completed: true})
+		delivered++
+	}
+	rel.flush()
+	return delivered < len(states), nil
+}

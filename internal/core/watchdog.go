@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -38,6 +39,13 @@ type Watchdog struct {
 	// in canonical order. With Workers > 1 the Interrupt hook must be
 	// safe for concurrent use.
 	Workers int
+	// Remote, if non-nil, executes every setting's pair matrix on a
+	// remote runner (the fleet coordinator) instead of the local worker
+	// pool; solo calibrations and canary probes stay local. Because
+	// remote results merge through the same ordered-release path, the
+	// cycle's outputs — report, heatmaps, checkpoints, fault ledger —
+	// are byte-identical to a single-process run.
+	Remote RemoteRunner
 	// AccessCodes gate third-party submissions.
 	AccessCodes []string
 	// Progress, if non-nil, receives human-readable progress lines.
@@ -233,7 +241,10 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 	if w.Breakers.OnTransition == nil {
 		w.Breakers.OnTransition = w.Obs.breakerTransition
 	}
-	sink, jw, rec := w.openJournal()
+	sink, jw, rec, err := w.openJournal()
+	if err != nil {
+		return nil, err
+	}
 	if cp != nil {
 		// The checkpoint's breaker snapshot is the *cycle-start* state;
 		// restoring it and then re-scoring the adopted (or, with a
@@ -280,16 +291,7 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 	for si, net := range w.Settings {
 		w.Obs.emit(obs.TimelineEvent{Kind: "setting_start", Cycle: cr.Cycle, Setting: si,
 			Detail: fmt.Sprintf("%d Mbps", net.RateBps/1_000_000)})
-		opts := w.Opts
-		if opts.IsZero() {
-			wb := opts.WallBudget
-			opts = PaperOptions(net)
-			opts.WallBudget = wb
-		}
-		opts = opts.withDefaults()
-		// Seed-scope each cycle and setting so re-runs differ but stay
-		// reproducible.
-		opts.BaseSeed += uint64(cr.Cycle)*1_000_003 + uint64(si)*7_919
+		opts := w.SettingOptions(cr.Cycle, si)
 
 		// Solo calibration first (§3.1): detect upstream throttling.
 		var cal map[string]float64
@@ -365,6 +367,9 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 			Net:         net,
 			Opts:        opts,
 			Workers:     w.Workers,
+			Remote:      w.Remote,
+			Cycle:       cr.Cycle,
+			Setting:     si,
 			Progress:    w.Progress,
 			OnFault:     w.OnFault,
 			Interrupt:   w.Interrupt,
@@ -398,20 +403,47 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 	return cr, nil
 }
 
+// SettingOptions resolves the scheduler options RunCycle uses for one
+// (cycle, setting) pair: the watchdog's own Opts, or — when those are
+// zero — the per-setting paper defaults, with the WallBudget carried
+// over, defaults filled in, and the cycle/setting seed offset applied.
+// It is exported for fleet workers, which must derive trial seeds
+// identically to the coordinator's watchdog from their own (matching)
+// configuration.
+func (w *Watchdog) SettingOptions(cycle, si int) SchedulerOptions {
+	opts := w.Opts
+	if opts.IsZero() {
+		wb := opts.WallBudget
+		opts = PaperOptions(w.Settings[si])
+		opts.WallBudget = wb
+	}
+	opts = opts.withDefaults()
+	// Seed-scope each cycle and setting so re-runs differ but stay
+	// reproducible.
+	opts.BaseSeed += uint64(cycle)*1_000_003 + uint64(si)*7_919
+	return opts
+}
+
 // openJournal opens (or creates) the write-ahead journal, recovering
 // any records a previous process left behind. A journal that cannot be
 // opened degrades to unjournaled operation: the journal is a durability
-// optimization, never a correctness dependency.
-func (w *Watchdog) openJournal() (*journalSink, *journal.Writer, journal.Recovery) {
+// optimization, never a correctness dependency. The one exception is a
+// future-version journal, which is a hard error — appending a fresh
+// prudentia.journal/1 beside history a newer binary still considers
+// authoritative would silently fork the trial record.
+func (w *Watchdog) openJournal() (*journalSink, *journal.Writer, journal.Recovery, error) {
 	if w.JournalPath == "" {
-		return nil, nil, journal.Recovery{}
+		return nil, nil, journal.Recovery{}, nil
 	}
 	jw, rec, err := journal.Open(w.JournalPath)
+	if errors.Is(err, journal.ErrFutureVersion) {
+		return nil, nil, journal.Recovery{}, err
+	}
 	if err != nil {
 		if w.Progress != nil {
 			w.Progress("journal open failed (running unjournaled): %v", err)
 		}
-		return nil, nil, journal.Recovery{}
+		return nil, nil, journal.Recovery{}, nil
 	}
 	if len(rec.Entries) > 0 || rec.Truncated {
 		w.Obs.journalRecovered(len(rec.Entries), rec.TornBytes)
@@ -420,7 +452,7 @@ func (w *Watchdog) openJournal() (*journalSink, *journal.Writer, journal.Recover
 				len(rec.Entries), rec.TornBytes)
 		}
 	}
-	return newJournalSink(jw, rec.Entries), jw, rec
+	return newJournalSink(jw, rec.Entries), jw, rec, nil
 }
 
 // probeOpenServices runs one canary trial for every open breaker, in
@@ -438,14 +470,7 @@ func (w *Watchdog) probeOpenServices(sink *journalSink, cycle int) {
 		return
 	}
 	net := w.Settings[0]
-	opts := w.Opts
-	if opts.IsZero() {
-		wb := opts.WallBudget
-		opts = PaperOptions(net)
-		opts.WallBudget = wb
-	}
-	opts = opts.withDefaults()
-	opts.BaseSeed += uint64(cycle) * 1_000_003
+	opts := w.SettingOptions(cycle, 0)
 	for _, name := range open {
 		var svc services.Service
 		for _, s := range w.Services {

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// TestFrameRoundTrip: encode → scan restores the exact payload.
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range []string{"", "x", `{"type":"ping","t":12345}`, strings.Repeat("z", 70000)} {
+		buf := encodeFrame([]byte(payload))
+		got, err := readFrame(bufio.NewReader(bytes.NewReader(buf)))
+		if err != nil {
+			t.Fatalf("payload %d bytes: %v", len(payload), err)
+		}
+		if string(got) != payload {
+			t.Fatalf("payload %d bytes: round trip mangled", len(payload))
+		}
+	}
+}
+
+// TestFrameChecksumMismatch: a flipped payload bit is detected.
+func TestFrameChecksumMismatch(t *testing.T) {
+	buf := encodeFrame([]byte("hello fleet"))
+	buf[len(buf)-1] ^= 0x01
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(buf))); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+}
+
+// TestFrameOversizedLengthRejected: a hostile length prefix is refused
+// before any allocation, not trusted into a 4 GiB make().
+func TestFrameOversizedLengthRejected(t *testing.T) {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], maxFrame+1)
+	_, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:])))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame: %v, want length-limit error", err)
+	}
+}
+
+// FuzzFrameScanner throws arbitrary bytes at the frame scanner. The
+// invariants: it never panics, never allocates beyond maxFrame, and any
+// frame it does accept re-encodes to exactly the bytes it consumed
+// (so a scanned frame is always one encodeFrame could have produced).
+func FuzzFrameScanner(f *testing.F) {
+	f.Add(encodeFrame([]byte(`{"type":"hello","schema":"prudentia.fleet/1","worker":"w1"}`)))
+	f.Add(encodeFrame(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0xde, 0xad, 0xbe, 0xef, 'x'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	two := append(encodeFrame([]byte("first")), encodeFrame([]byte("second"))...)
+	f.Add(two)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		consumed := 0
+		for {
+			payload, err := readFrame(br)
+			if err != nil {
+				return // any malformed input must surface as an error, not a panic
+			}
+			re := encodeFrame(payload)
+			if consumed+len(re) > len(data) || !bytes.Equal(re, data[consumed:consumed+len(re)]) {
+				t.Fatalf("accepted frame does not re-encode to the consumed bytes at offset %d", consumed)
+			}
+			consumed += len(re)
+		}
+	})
+}

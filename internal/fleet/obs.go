@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"prudentia/internal/obs"
+)
+
+// Instruments holds the coordinator's fleet telemetry handles, resolved
+// once at setup per the obs layer's handles-not-lookups rule. A nil
+// *Instruments (or one built from a nil registry) is a no-op, so the
+// coordinator needs no "is telemetry on?" branches.
+//
+// Fleet metrics are operational, not experimental: worker membership,
+// reassignments, and heartbeat RTTs depend on wall-clock scheduling and
+// are NOT part of the byte-identical determinism contract (they live
+// beside the registry's other "wall" metrics).
+type Instruments struct {
+	// workersLive is the current live worker count (gauge, since
+	// workers come and go).
+	workersLive *obs.Gauge
+	// workersJoined / workersDead count membership transitions.
+	workersJoined *obs.Counter
+	workersDead   *obs.Counter
+	// assigned counts leases granted; results counts accepted results.
+	assigned *obs.Counter
+	results  *obs.Counter
+	// reassigned counts pairs re-queued after a worker died or a lease
+	// expired; leaseExpiries counts expirations specifically.
+	reassigned    *obs.Counter
+	leaseExpiries *obs.Counter
+	// duplicates counts results dropped because another execution of
+	// the same pair already won (straggler re-dispatch races).
+	duplicates *obs.Counter
+	// partitions counts chaos-injected coordinator↔worker partitions.
+	partitions *obs.Counter
+	// rejects counts workers turned away at the door (fingerprint or
+	// schema mismatch).
+	rejects *obs.Counter
+	// heartbeatRTT observes ping→pong round trips in seconds.
+	heartbeatRTT *obs.Histogram
+}
+
+// NewInstruments resolves the fleet metric handles from a registry.
+// Safe with a nil registry (every handle is then a nil no-op).
+func NewInstruments(reg *obs.Registry) *Instruments {
+	return &Instruments{
+		workersLive:   reg.Gauge("fleet_workers_live"),
+		workersJoined: reg.Counter("fleet_workers_joined_total"),
+		workersDead:   reg.Counter("fleet_workers_dead_total"),
+		assigned:      reg.Counter("fleet_leases_assigned_total"),
+		results:       reg.Counter("fleet_results_total"),
+		reassigned:    reg.Counter("fleet_pairs_reassigned_total"),
+		leaseExpiries: reg.Counter("fleet_lease_expiries_total"),
+		duplicates:    reg.Counter("fleet_duplicate_results_total"),
+		partitions:    reg.Counter("fleet_partitions_total"),
+		rejects:       reg.Counter("fleet_workers_rejected_total"),
+		// 100 µs .. ~1.6 s: loopback fleets sit in the bottom buckets,
+		// WAN workers in the middle, a swapping host pegs the top.
+		heartbeatRTT: reg.Histogram("fleet_heartbeat_rtt_wall_seconds", obs.ExpBuckets(0.0001, 4, 8)),
+	}
+}
+
+func (in *Instruments) setLive(n int) {
+	if in != nil {
+		in.workersLive.Set(float64(n))
+	}
+}
+
+func (in *Instruments) joined(live int) {
+	if in == nil {
+		return
+	}
+	in.workersJoined.Inc()
+	in.setLive(live)
+}
+
+func (in *Instruments) died(live int) {
+	if in == nil {
+		return
+	}
+	in.workersDead.Inc()
+	in.setLive(live)
+}
+
+func (in *Instruments) leaseGranted() {
+	if in != nil {
+		in.assigned.Inc()
+	}
+}
+
+func (in *Instruments) resultAccepted() {
+	if in != nil {
+		in.results.Inc()
+	}
+}
+
+func (in *Instruments) pairRequeued() {
+	if in != nil {
+		in.reassigned.Inc()
+	}
+}
+
+func (in *Instruments) leaseExpired() {
+	if in == nil {
+		return
+	}
+	in.leaseExpiries.Inc()
+	in.reassigned.Inc()
+}
+
+func (in *Instruments) duplicateDropped() {
+	if in != nil {
+		in.duplicates.Inc()
+	}
+}
+
+func (in *Instruments) partitionInjected() {
+	if in != nil {
+		in.partitions.Inc()
+	}
+}
+
+func (in *Instruments) workerRejected() {
+	if in != nil {
+		in.rejects.Inc()
+	}
+}
+
+func (in *Instruments) pong(rttSeconds float64) {
+	if in != nil {
+		in.heartbeatRTT.Observe(rttSeconds)
+	}
+}

@@ -33,15 +33,49 @@ package journal
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 )
 
-// Schema identifies the journal format; bump on breaking change.
+// Schema identifies the journal format; bump on breaking change. The
+// frame container (length+CRC) is stable across versions — only the
+// payload schema is versioned — so this build can always read a future
+// journal's header far enough to refuse it cleanly.
 const Schema = "prudentia.journal/1"
+
+// schemaPrefix and schemaVersion decompose Schema for forward-compat
+// checks.
+const (
+	schemaPrefix  = "prudentia.journal/"
+	schemaVersion = 1
+)
+
+// ErrFutureVersion marks a journal written by a newer schema version
+// than this build understands. Callers must treat it as a hard error:
+// silently degrading to a fresh journal would fork the trial history
+// that a newer binary still considers authoritative.
+var ErrFutureVersion = errors.New("journal schema is newer than this build")
+
+// checkSchema validates a recovered header schema, distinguishing a
+// future version (upgrade the binary) from a foreign file.
+func checkSchema(path, got string) error {
+	if got == Schema {
+		return nil
+	}
+	if v, ok := strings.CutPrefix(got, schemaPrefix); ok {
+		if n, err := strconv.Atoi(v); err == nil && n > schemaVersion {
+			return fmt.Errorf("journal: %s is %q, newer than this build's %q: %w (upgrade the binary or move the journal aside)",
+				path, got, Schema, ErrFutureVersion)
+		}
+	}
+	return fmt.Errorf("journal: %s is not a %s file", path, Schema)
+}
 
 // frameHeader is the per-record overhead: 4-byte length + 4-byte CRC.
 const frameHeader = 8
@@ -209,8 +243,11 @@ func Open(path string) (*Writer, Recovery, error) {
 		return w, Recovery{TornBytes: int64(len(data)), Truncated: len(data) > 0}, nil
 	}
 	var hdr header
-	if err := json.Unmarshal(payloads[0], &hdr); err != nil || hdr.Schema != Schema {
+	if err := json.Unmarshal(payloads[0], &hdr); err != nil {
 		return nil, Recovery{}, fmt.Errorf("journal: %s is not a %s file", path, Schema)
+	}
+	if err := checkSchema(path, hdr.Schema); err != nil {
+		return nil, Recovery{}, err
 	}
 	rec := Recovery{}
 	for i, p := range payloads[1:] {

@@ -1,0 +1,70 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// writeHeader hand-crafts a journal whose header frame carries the
+// given schema string — the forward-compat regression fixture.
+func writeHeader(t *testing.T, schema string) string {
+	t.Helper()
+	path := tmpJournal(t)
+	payload := []byte(`{"schema":"` + schema + `"}`)
+	if err := os.WriteFile(path, frame(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFutureVersionRejected: a journal from a newer schema version must
+// be refused with ErrFutureVersion and a message that tells the
+// operator what to do — never recreated (data loss) or misparsed.
+func TestFutureVersionRejected(t *testing.T) {
+	for _, schema := range []string{"prudentia.journal/2", "prudentia.journal/99"} {
+		path := writeHeader(t, schema)
+		_, _, err := Open(path)
+		if err == nil {
+			t.Fatalf("schema %q: future version accepted", schema)
+		}
+		if !errors.Is(err, ErrFutureVersion) {
+			t.Fatalf("schema %q: error %v is not ErrFutureVersion", schema, err)
+		}
+		if !strings.Contains(err.Error(), schema) || !strings.Contains(err.Error(), Schema) {
+			t.Fatalf("schema %q: message %q must name both versions", schema, err)
+		}
+		// The refusal must leave the file untouched for the newer binary.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil || len(data) == 0 {
+			t.Fatalf("schema %q: journal file was disturbed: %v", schema, rerr)
+		}
+	}
+}
+
+// TestForeignSchemaIsNotFutureVersion: files that merely are not
+// journals (or use a non-numeric suffix) get the generic rejection, so
+// the "upgrade your binary" hint never misfires.
+func TestForeignSchemaIsNotFutureVersion(t *testing.T) {
+	for _, schema := range []string{"other/9", "prudentia.journal/x", "prudentia.checkpoint/2"} {
+		path := writeHeader(t, schema)
+		_, _, err := Open(path)
+		if err == nil {
+			t.Fatalf("schema %q accepted", schema)
+		}
+		if errors.Is(err, ErrFutureVersion) {
+			t.Fatalf("schema %q wrongly classified as a future version: %v", schema, err)
+		}
+	}
+}
+
+// TestPastVersionZeroRejectedPlainly: "prudentia.journal/0" is not a
+// future version; it gets the generic error.
+func TestPastVersionZeroRejectedPlainly(t *testing.T) {
+	path := writeHeader(t, "prudentia.journal/0")
+	_, _, err := Open(path)
+	if err == nil || errors.Is(err, ErrFutureVersion) {
+		t.Fatalf("version 0: got %v, want plain rejection", err)
+	}
+}
