@@ -41,6 +41,15 @@ func fleetFingerprint(w *core.Watchdog, quick, chaosOn bool, maxWall float64) ui
 		fmt.Sprintf("chaos=%v", chaosOn),
 		fmt.Sprintf("wall=%g", maxWall),
 	}
+	if ad := w.Opts.Adaptive; ad != nil {
+		// Adaptive stopping parameters change every pair's trial count,
+		// so a worker with divergent (or absent) adaptive flags would
+		// compute different bytes. Appended only when armed, so
+		// fixed-budget fingerprints match pre-adaptive builds.
+		parts = append(parts, fmt.Sprintf("adaptive=%d:%g:%d:%g:%d:%g",
+			ad.MinTrials, ad.CIWidthPct, ad.StableK, ad.FairSharePct,
+			ad.ScreenTrials, ad.BudgetFrac))
+	}
 	for _, svc := range w.Services {
 		parts = append(parts, "svc:"+svc.Name())
 	}

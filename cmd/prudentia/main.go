@@ -18,6 +18,16 @@
 // plan (link flaps, bandwidth sags, client stalls, trial panics/errors,
 // result corruption, service brownouts) to exercise those defenses.
 //
+// -adaptive replaces the fixed trial protocol with adaptive budgets
+// (docs/ADAPTIVE.md): a coarse screening pass ranks pairs by predicted
+// unfairness and allocates the cycle's trial budget depth-first to the
+// most contested pairs, and a sequential stopper (-ci-width,
+// -min-trials) ends each pair's trials the moment its fairness verdict
+// is statistically settled — same verdicts, typically ≥30% fewer
+// trials. -fixed-trials forces the fixed protocol back on (its output
+// is byte-identical to a run without -adaptive), and a -resume from a
+// pre-adaptive checkpoint falls back to it automatically.
+//
 // -workers N (default GOMAXPROCS) fans calibrations and pair trials out
 // to a worker pool; every trial owns a private simulation engine and
 // emulated testbed, and completed work is merged in canonical order, so
@@ -83,6 +93,10 @@ func main() {
 		faultsOut  = flag.String("faults-out", "", "write the robustness fault ledger as JSONL here at exit")
 		journal    = flag.String("journal", "", "write-ahead trial journal: append every executed attempt (fsynced) so a crashed cycle loses at most the in-flight trial and replays the rest")
 		maxWall    = flag.Float64("max-trial-wall", 0, "hung-trial reaper: wall-clock budget factor per trial (emulated duration × factor; 0 = off)")
+		adaptive   = flag.Bool("adaptive", false, "adaptive trial budgets: coarse screening ranks pairs, the sequential stopper ends each pair's trials once its verdict is stable")
+		ciWidth    = flag.Float64("ci-width", 0, "adaptive: stop a pair when the 95% CI on both slots' share medians is at most this many share points wide (0 = default 10)")
+		minTrials  = flag.Int("min-trials", 0, "adaptive: floor below which no pair stops early (0 = default 2)")
+		fixedTrial = flag.Bool("fixed-trials", false, "force the fixed trial protocol even with -adaptive (the golden/acceptance escape hatch; output is byte-identical to a run without -adaptive)")
 		soak       = flag.Int("soak", 0, "soak mode: run N consecutive cycles carrying circuit-breaker state across cycles, printing breaker status after each (overrides -cycles)")
 
 		// Fleet mode: one coordinator shards the pair matrix over N
@@ -120,6 +134,12 @@ func main() {
 		w.Opts.Chaos = &plan
 	}
 	w.Opts.WallBudget = *maxWall
+	if *adaptive && !*fixedTrial {
+		w.Opts.Adaptive = &core.AdaptiveOptions{
+			CIWidthPct: *ciWidth,
+			MinTrials:  *minTrials,
+		}
+	}
 	w.JournalPath = *journal
 	soakMode := *soak > 0
 	if soakMode {
@@ -250,6 +270,15 @@ func main() {
 			}
 			if found {
 				fmt.Printf("resuming interrupted cycle from %s\n", *checkpoint)
+				if w.Opts.Adaptive != nil && !w.StagedCheckpoint().HasBudgetState() {
+					// Pre-adaptive checkpoints carry no budget
+					// allocations; re-screening could change the
+					// interrupted run's stopping decisions, so finish
+					// this run with fixed trials instead of erroring.
+					fmt.Fprintln(os.Stderr,
+						"prudentia: checkpoint predates adaptive budgets; falling back to -fixed-trials for this run")
+					w.Opts.Adaptive = nil
+				}
 			} else {
 				fmt.Printf("no checkpoint at %s; starting fresh\n", *checkpoint)
 			}

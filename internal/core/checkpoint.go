@@ -53,6 +53,16 @@ type Checkpoint struct {
 	// last flush, so a resumed cycle restores health scores instead of
 	// forgetting every past failure.
 	Breakers []obs.BreakerInfo `json:"breakers,omitempty"`
+	// Budget[si] maps pairKey → the adaptive trial ceiling allocated by
+	// setting si's screening pass (nil until that setting's screening
+	// ran). It is the allocation *decision record*: a resumed adaptive
+	// cycle adopts it verbatim instead of re-screening, so the stopping
+	// ceilings — and with them every stopping decision — cannot be
+	// re-litigated mid-cycle. The whole slice is nil on fixed-budget
+	// runs, keeping their checkpoints byte-identical to pre-adaptive
+	// builds, and nil on checkpoints written by those builds —
+	// HasBudgetState distinguishes the two.
+	Budget []map[string]int `json:"budget,omitempty"`
 	// OpenServices[si] records the admission decision made when setting
 	// si's matrix started: the sorted list of services whose breakers
 	// were open (possibly empty but non-nil once the setting started).
@@ -76,6 +86,20 @@ func newCheckpoint(cycle, nSettings int) *Checkpoint {
 	}
 	return cp
 }
+
+// HasBudgetState reports whether the checkpoint carries adaptive
+// budget allocations — i.e. was written by an adaptive-mode run of a
+// build that knows the field. Resuming an adaptive run from a
+// checkpoint without budget state would re-screen and could allocate
+// different ceilings than the interrupted run used; callers must
+// either fall back to fixed budgets (cmd/prudentia does, with a
+// warning) or refuse (RunCycle returns ErrCheckpointNoBudget).
+func (cp *Checkpoint) HasBudgetState() bool { return cp.Budget != nil }
+
+// ErrCheckpointNoBudget marks an attempt to resume an adaptive cycle
+// from a pre-adaptive checkpoint (no budget state). See
+// Checkpoint.HasBudgetState.
+var ErrCheckpointNoBudget = errors.New("checkpoint carries no adaptive budget state; resume with fixed trials")
 
 // SaveCheckpoint writes the checkpoint atomically and durably: temp
 // file in the destination directory, fsync, rename, then fsync of the

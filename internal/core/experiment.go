@@ -86,6 +86,16 @@ func (s Spec) QuickTiming() Spec {
 	return s
 }
 
+// ScreenTiming applies the coarse-to-fine screening pass's timing: a
+// 15-second trial with minimal head/tail trims, roughly a quarter of a
+// QuickTiming trial. Screening only ranks pairs by predicted
+// unfairness — the ranking feeds budget allocation, never the heatmaps
+// — so the lower absolute confidence is acceptable by construction.
+func (s Spec) ScreenTiming() Spec {
+	s.Duration, s.Warmup, s.Cooldown = 15*sim.Second, 3*sim.Second, 2*sim.Second
+	return s
+}
+
 // MaxExternalLoss is the external (upstream) loss fraction above which a
 // trial is discarded (§3.1: 0.05%).
 const MaxExternalLoss = 0.0005

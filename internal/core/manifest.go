@@ -21,6 +21,7 @@ func (w *Watchdog) BuildManifest(cr *CycleResult, reg *obs.Registry) obs.Manifes
 	m.Workers = w.Workers
 	m.BaseSeed = w.Opts.BaseSeed
 	m.ChaosEnabled = w.Opts.Chaos.Enabled()
+	m.AdaptiveEnabled = w.Opts.Adaptive != nil
 	for _, svc := range w.Services {
 		m.Services = append(m.Services, svc.Name())
 	}

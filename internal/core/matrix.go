@@ -49,6 +49,20 @@ type Matrix struct {
 	Cycle   int
 	Setting int
 
+	// Budgets maps pairKey → allocated trial ceiling, restored from a
+	// checkpoint. When nil and Opts.Adaptive is armed, Run performs the
+	// coarse screening pass itself and allocates budgets from the
+	// scores; when non-nil the stored allocation is adopted verbatim —
+	// screening is skipped — so a resumed adaptive cycle reproduces the
+	// original run's stopping decisions without re-planning them.
+	Budgets map[string]int
+
+	// OnBudgets, if non-nil, receives the budget allocation the moment
+	// it is decided (the checkpoint-persistence hook). Called once per
+	// Run, before any full-depth trial starts, from the goroutine that
+	// called Run; not called when Budgets was supplied.
+	OnBudgets func(budgets map[string]int)
+
 	// Completed maps pairKey → outcomes restored from a checkpoint;
 	// those pairs are adopted verbatim and not re-run, which — because
 	// every trial seed is a pure function of (BaseSeed, pair, attempt) —
@@ -160,6 +174,21 @@ func (m *Matrix) Run() (*MatrixResult, error) {
 			states = append(states, st)
 			res.Pairs[key] = st.outcome
 		}
+	}
+
+	if opts.Adaptive != nil && len(states) > 0 {
+		budgets := m.Budgets
+		if budgets == nil {
+			var interrupted bool
+			budgets, interrupted = m.screen(states, opts)
+			if interrupted {
+				return res, ErrInterrupted
+			}
+			if m.OnBudgets != nil {
+				m.OnBudgets(budgets)
+			}
+		}
+		m.applyBudgets(states, budgets)
 	}
 
 	if m.Remote != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"prudentia/internal/obs"
+	"prudentia/internal/stats"
 )
 
 // Instruments bundles the watchdog's telemetry sinks: a metric registry
@@ -51,6 +52,12 @@ type Instruments struct {
 	journalBytes    *obs.Counter
 	journalReplayed *obs.Counter
 	journalTorn     *obs.Counter
+
+	adaptiveStopCI     *obs.Counter
+	adaptiveStopStable *obs.Counter
+	adaptiveStopBudget *obs.Counter
+	adaptiveSaved      *obs.Counter
+	screenTrials       *obs.Counter
 
 	breakerToOpen     *obs.Counter
 	breakerToHalfOpen *obs.Counter
@@ -107,6 +114,12 @@ func NewInstruments(reg *obs.Registry, tl *obs.Timeline) *Instruments {
 		journalBytes:    reg.Counter("prudentia_journal_bytes_total"),
 		journalReplayed: reg.Counter("prudentia_journal_replayed_total"),
 		journalTorn:     reg.Counter("prudentia_journal_torn_tail_total"),
+
+		adaptiveStopCI:     reg.Counter(`prudentia_adaptive_stops_total{reason="ci_width"}`),
+		adaptiveStopStable: reg.Counter(`prudentia_adaptive_stops_total{reason="verdict_stable"}`),
+		adaptiveStopBudget: reg.Counter(`prudentia_adaptive_stops_total{reason="budget"}`),
+		adaptiveSaved:      reg.Counter("prudentia_adaptive_trials_saved_total"),
+		screenTrials:       reg.Counter("prudentia_adaptive_screen_trials_total"),
 
 		breakerToOpen:     reg.Counter(`prudentia_breaker_transitions_total{to="open"}`),
 		breakerToHalfOpen: reg.Counter(`prudentia_breaker_transitions_total{to="half-open"}`),
@@ -301,7 +314,11 @@ func (in *Instruments) retry() { // counter only; the ledger carries detail
 
 // pairDone records a pair reaching a final state. Called from the
 // scheduler's ordered release path, so pair_done timeline events appear
-// in canonical order even under the worker pool.
+// in canonical order even under the worker pool — and for remotely
+// executed pairs too (fleet results release through the same path), so
+// the adaptive stop-reason counters and trials-saved total are uniform
+// across local and fleet execution. Fixed-budget pairs carry no
+// StopReason and produce exactly the pre-adaptive event stream.
 func (in *Instruments) pairDone(st *pairState) {
 	if in == nil {
 		return
@@ -315,7 +332,36 @@ func (in *Instruments) pairDone(st *pairState) {
 	} else if o.Unstable {
 		detail = "unstable"
 	}
+	if o.StopReason != "" {
+		switch o.StopReason {
+		case stats.StopCIWidth:
+			in.adaptiveStopCI.Inc()
+		case stats.StopStable:
+			in.adaptiveStopStable.Inc()
+		case stats.StopBudget:
+			in.adaptiveStopBudget.Inc()
+		}
+		if saved := o.Budget - len(o.Trials); saved > 0 {
+			in.adaptiveSaved.Add(int64(saved))
+		}
+		detail += " stop=" + o.StopReason
+	}
 	in.emit(obs.TimelineEvent{Kind: "pair_done", Pair: st.pairLabel(), Detail: detail})
+}
+
+// screenTrial records one coarse screening attempt (started and
+// classified, from the executing goroutine — the counter is
+// commutative, so totals are deterministic for any worker count).
+// Screening attempts deliberately stay out of prudentia_trials_*:
+// those families reconcile against the published report, which
+// screening never enters.
+func (in *Instruments) screenTrial(pair string, seed uint64, attempt int, class string) {
+	if in == nil {
+		return
+	}
+	in.screenTrials.Inc()
+	in.emit(obs.TimelineEvent{Kind: "screen_trial", Pair: pair, Seed: seed, Attempt: attempt,
+		Detail: class})
 }
 
 // calibrationDone records one service's solo calibration outcome.

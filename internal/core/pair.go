@@ -42,15 +42,23 @@ type SchedulerOptions struct {
 	// faster than real time, so even a factor well below 1 only fires
 	// on genuinely wedged trials.
 	WallBudget float64
+	// Adaptive, if non-nil, replaces the fixed batch-escalation
+	// stopping rule with the adaptive trial-budget subsystem
+	// (adaptive.go): a coarse screening pass allocates per-pair trial
+	// ceilings, and the sequential stopper ends each pair's trials the
+	// moment its verdict is statistically settled. Nil preserves the
+	// fixed protocol — and the golden acceptance output — bit for bit.
+	Adaptive *AdaptiveOptions
 }
 
 // IsZero reports whether no field was set. Watchdog.RunCycle applies
 // the per-setting PaperOptions only in that case — a caller who sets
 // any field (for example only Timing) keeps their options, with the
-// remaining fields defaulted. WallBudget is deliberately excluded: it
-// is a supervision knob orthogonal to the measurement protocol, so
-// setting only it still gets the per-setting paper options (RunCycle
-// carries the budget over).
+// remaining fields defaulted. WallBudget and Adaptive are deliberately
+// excluded: the reaper is a supervision knob and the adaptive stopper
+// a budget policy, both orthogonal to the measurement protocol, so
+// setting only them still gets the per-setting paper options (RunCycle
+// carries both over).
 func (o SchedulerOptions) IsZero() bool {
 	return o.MinTrials == 0 && o.MaxTrials == 0 && o.Step == 0 &&
 		o.ToleranceMbps == 0 && o.BaseSeed == 0 && o.Timing == nil &&
@@ -100,6 +108,9 @@ func (o SchedulerOptions) withDefaults() SchedulerOptions {
 	if o.MaxFailures == 0 {
 		o.MaxFailures = 3
 	}
+	if o.Adaptive != nil {
+		o.Adaptive = o.Adaptive.withDefaults()
+	}
 	return o
 }
 
@@ -145,6 +156,14 @@ type PairOutcome struct {
 	Retries int
 	// Failures records every failed attempt for the artifact ledger.
 	Failures []TrialFailure
+	// StopReason records why the adaptive sequential stopper ended the
+	// pair (stats.StopCIWidth, StopStable, or StopBudget). Empty on
+	// fixed-budget runs, so their checkpoints and artifacts are
+	// unchanged byte for byte.
+	StopReason string `json:"stop_reason,omitempty"`
+	// Budget is the pair's allocated trial ceiling under adaptive
+	// budgets (zero on fixed-budget runs).
+	Budget int `json:"budget,omitempty"`
 }
 
 // mbps returns the per-trial throughput series for one slot.

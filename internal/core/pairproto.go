@@ -5,6 +5,7 @@ import (
 
 	"prudentia/internal/netem"
 	"prudentia/internal/services"
+	"prudentia/internal/stats"
 )
 
 // This file holds the single-pair trial protocol (§3.4) shared by the
@@ -21,6 +22,7 @@ type pairState struct {
 	seedID   uint64
 	outcome  *PairOutcome
 	target   int // trials to run before the next CI evaluation
+	budget   int // adaptive trial ceiling (0 = opts.MaxTrials)
 	attempt  int // every attempt: counted, discarded, corrupt, or failed
 	cooldown int // protocol rounds to sit out (retry backoff)
 	done     bool
@@ -248,9 +250,19 @@ func (pp *pairProtocol) runOne(st *pairState) {
 	}
 }
 
-// evaluate applies the stopping rule at batch boundaries.
+// evaluate applies the stopping rule: the adaptive sequential stopper
+// after every counted trial when SchedulerOptions.Adaptive is armed,
+// the fixed §3.4 batch-boundary rule otherwise. Both read only the
+// counted-trial prefix on the outcome — failed, reaped, discarded, and
+// corrupt attempts never enter the stopping statistic (they are
+// handled by the retry/quarantine machinery in runOne), so chaos
+// cannot perturb a stopping decision, only delay it.
 func (pp *pairProtocol) evaluate(st *pairState) {
 	if st.done {
+		return
+	}
+	if ad := pp.opts.Adaptive; ad != nil {
+		pp.evaluateAdaptive(st, ad)
 		return
 	}
 	n := len(st.outcome.Trials)
@@ -268,4 +280,26 @@ func (pp *pairProtocol) evaluate(st *pairState) {
 		st.outcome.Unstable = true
 		st.done = true
 	}
+}
+
+// evaluateAdaptive applies the sequential stopper (internal/stats) to
+// the pair's accumulated share series. The decision is a pure function
+// of that series and the pair's allocated ceiling, so resumed, fleet,
+// and serial executions of the same pair stop identically. A pair that
+// exhausts the scheduler-wide MaxTrials without converging is marked
+// Unstable exactly as under the fixed rule; one cut short by a smaller
+// screening allocation is merely budget-stopped — it was never given
+// full depth, so it earns no instability verdict.
+func (pp *pairProtocol) evaluateAdaptive(st *pairState, ad *AdaptiveOptions) {
+	pol := ad.policy(st.budget, pp.opts.MaxTrials)
+	d := pol.Evaluate(st.outcome.SharePcts(0), st.outcome.SharePcts(1))
+	if !d.Stop {
+		return
+	}
+	st.outcome.StopReason = d.Reason
+	st.outcome.Budget = pol.MaxTrials
+	if d.Reason == stats.StopBudget && pol.MaxTrials >= pp.opts.MaxTrials {
+		st.outcome.Unstable = true
+	}
+	st.done = true
 }

@@ -21,11 +21,16 @@ import (
 // and Setting let a worker re-derive the scheduler options (and with
 // them every trial seed) from its own configuration via
 // Watchdog.SettingOptions; A and B are catalog indices (A <= B).
+// Budget carries the pair's adaptive trial ceiling: screening runs
+// coordinator-side, so the allocation must travel with the task for
+// the worker's sequential stopper to reach the coordinator's stopping
+// decision (zero on fixed-budget runs, preserving the wire format).
 type PairTask struct {
 	Cycle   int `json:"cycle"`
 	Setting int `json:"setting"`
 	A       int `json:"a"`
 	B       int `json:"b"`
+	Budget  int `json:"budget,omitempty"`
 }
 
 // PairTaskResult delivers one remotely executed pair: the index into
@@ -50,13 +55,16 @@ type RemoteRunner interface {
 	RunPairs(tasks []PairTask, interrupt func() bool) (<-chan PairTaskResult, error)
 }
 
-// RunPairTask executes the full §3.4 trial-escalation protocol for
-// catalog pair (a, b) in one setting — the fleet worker's entry point.
-// The returned outcome and event stream are byte-identical to the same
+// RunPairTask executes the full trial protocol for the catalog pair
+// the task names in one setting — the fleet worker's entry point. The
+// returned outcome and event stream are byte-identical to the same
 // pair executed inside a local matrix, because every trial seed is a
-// pure function of (opts.BaseSeed, pair identity, attempt).
-func RunPairTask(svcs []services.Service, net netem.Config, opts SchedulerOptions, a, b int) (*PairOutcome, []FaultEvent) {
+// pure function of (opts.BaseSeed, pair identity, attempt) and the
+// adaptive stopper is a pure function of the counted-trial prefix and
+// the task's Budget.
+func RunPairTask(svcs []services.Service, net netem.Config, opts SchedulerOptions, task PairTask) (*PairOutcome, []FaultEvent) {
 	opts = opts.withDefaults()
+	a, b := task.A, task.B
 	st := &pairState{
 		a: a, b: b,
 		key:    pairKey(a, b),
@@ -64,6 +72,7 @@ func RunPairTask(svcs []services.Service, net netem.Config, opts SchedulerOption
 		svcA:   svcs[a],
 		svcB:   svcs[b],
 		target: opts.MinTrials,
+		budget: task.Budget,
 		outcome: &PairOutcome{
 			Incumbent: svcs[a].Name(),
 			Contender: svcs[b].Name(),
@@ -86,7 +95,8 @@ func (m *Matrix) runAllRemote(states []*pairState, opts SchedulerOptions) (inter
 	_ = opts // seed derivation happens worker-side, from the same options
 	tasks := make([]PairTask, len(states))
 	for i, st := range states {
-		tasks[i] = PairTask{Cycle: m.Cycle, Setting: m.Setting, A: st.a, B: st.b}
+		tasks[i] = PairTask{Cycle: m.Cycle, Setting: m.Setting, A: st.a, B: st.b,
+			Budget: st.budget}
 	}
 	ch, err := m.Remote.RunPairs(tasks, m.Interrupt)
 	if err != nil {

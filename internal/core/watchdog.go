@@ -177,6 +177,11 @@ func customURLService(url string) services.Service {
 // pairs and calibrations instead of re-running them.
 func (w *Watchdog) Resume(cp *Checkpoint) { w.resume = cp }
 
+// StagedCheckpoint returns the checkpoint staged by Resume or
+// LoadCheckpoint (nil if none), letting callers inspect it — e.g. for
+// HasBudgetState — before deciding how to run the next cycle.
+func (w *Watchdog) StagedCheckpoint() *Checkpoint { return w.resume }
+
 // LoadCheckpoint stages the checkpoint at CheckpointPath if one exists.
 // It reports whether a checkpoint was found; a missing file is not an
 // error (the watchdog simply starts fresh).
@@ -229,6 +234,15 @@ func (w *Watchdog) flush(cp *Checkpoint) {
 // resumed continuation of it) are byte-identical for every worker
 // count.
 func (w *Watchdog) RunCycle() (*CycleResult, error) {
+	if w.resume != nil && w.Opts.Adaptive != nil && !w.resume.HasBudgetState() {
+		// A pre-adaptive checkpoint records no budget allocations;
+		// re-screening could allocate different ceilings than the
+		// interrupted run used and silently change its stopping
+		// decisions. Refuse before consuming the staged checkpoint so
+		// the caller can disarm Adaptive and resume fixed
+		// (cmd/prudentia does exactly that, with a stderr warning).
+		return nil, ErrCheckpointNoBudget
+	}
 	cr := &CycleResult{Cycle: len(w.cycles) + 1}
 	cp := w.resume
 	w.resume = nil
@@ -254,6 +268,13 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 	}
 	live := newCheckpoint(cr.Cycle, len(w.Settings))
 	live.Breakers = w.Breakers.Status()
+	if w.Opts.Adaptive != nil {
+		// Allocate budget state eagerly so even a checkpoint flushed
+		// before the first screening pass identifies itself as
+		// adaptive (HasBudgetState). Fixed runs leave it nil and their
+		// checkpoints unchanged.
+		live.Budget = make([]map[string]int, len(w.Settings))
+	}
 	// With a journal, completed work is replayed from it rather than
 	// adopted from the checkpoint: replay drives the full protocol —
 	// ledger events, telemetry, breaker scoring — so the resumed
@@ -361,6 +382,19 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 			skip = func(name string) bool { return openSet[name] }
 		}
 
+		// Adaptive budgets: a checkpoint that recorded this setting's
+		// allocation hands it over verbatim (screening is skipped), so
+		// the resumed cycle's stopping ceilings match the interrupted
+		// run's; a fresh allocation is flushed the moment it is
+		// decided, before any full-depth trial runs.
+		var budgets map[string]int
+		if cp != nil && si < len(cp.Budget) && cp.Budget[si] != nil {
+			budgets = cp.Budget[si]
+			if live.Budget != nil {
+				live.Budget[si] = budgets
+			}
+		}
+
 		si := si
 		m := &Matrix{
 			Services:    w.Services,
@@ -378,6 +412,13 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 			Journal:     sink,
 			Breakers:    w.Breakers,
 			Obs:         w.Obs,
+			Budgets:     budgets,
+			OnBudgets: func(b map[string]int) {
+				if live.Budget != nil {
+					live.Budget[si] = b
+					w.flush(live)
+				}
+			},
 			OnPair: func(key string, out *PairOutcome) {
 				live.Pairs[si][key] = out
 				w.flush(live)
@@ -405,17 +446,19 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 
 // SettingOptions resolves the scheduler options RunCycle uses for one
 // (cycle, setting) pair: the watchdog's own Opts, or — when those are
-// zero — the per-setting paper defaults, with the WallBudget carried
-// over, defaults filled in, and the cycle/setting seed offset applied.
+// zero — the per-setting paper defaults, with WallBudget and Adaptive
+// carried over, defaults filled in, and the cycle/setting seed offset
+// applied.
 // It is exported for fleet workers, which must derive trial seeds
 // identically to the coordinator's watchdog from their own (matching)
 // configuration.
 func (w *Watchdog) SettingOptions(cycle, si int) SchedulerOptions {
 	opts := w.Opts
 	if opts.IsZero() {
-		wb := opts.WallBudget
+		wb, ad := opts.WallBudget, opts.Adaptive
 		opts = PaperOptions(w.Settings[si])
 		opts.WallBudget = wb
+		opts.Adaptive = ad
 	}
 	opts = opts.withDefaults()
 	// Seed-scope each cycle and setting so re-runs differ but stay

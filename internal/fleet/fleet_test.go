@@ -139,7 +139,7 @@ func TestFleetMatchesSerial(t *testing.T) {
 
 	for i, task := range tasks {
 		wantOut, wantEv := core.RunPairTask(testCatalog(), testSettings()[task.Setting],
-			testOptions(task.Cycle, task.Setting), task.A, task.B)
+			testOptions(task.Cycle, task.Setting), task)
 		r := got[i]
 		gj, _ := json.Marshal(r.Outcome)
 		wj, _ := json.Marshal(wantOut)
@@ -252,7 +252,7 @@ func TestWorkerDeathRedispatch(t *testing.T) {
 	startTestWorker(t, "b-steady", coord.Addr())
 	got := collect(t, ch, len(tasks))
 
-	wantOut, _ := core.RunPairTask(testCatalog(), testSettings()[0], testOptions(1, 0), tasks[0].A, tasks[0].B)
+	wantOut, _ := core.RunPairTask(testCatalog(), testSettings()[0], testOptions(1, 0), tasks[0])
 	gj, _ := json.Marshal(got[0].Outcome)
 	wj, _ := json.Marshal(wantOut)
 	if string(gj) != string(wj) {

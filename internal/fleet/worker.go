@@ -28,6 +28,7 @@ const (
 // so Worker.Run returns it instead of retrying.
 type RejectedError struct{ Detail string }
 
+// Error returns the coordinator's rejection detail.
 func (e *RejectedError) Error() string {
 	return "fleet: coordinator rejected worker: " + e.Detail
 }
@@ -255,7 +256,7 @@ func (w *Worker) validTask(t *core.PairTask) bool {
 // re-dispatch the pair — whose re-execution is byte-identical.
 func (w *Worker) runTask(fc *frameConn, leaseID uint64, t core.PairTask) {
 	opts := w.Options(t.Cycle, t.Setting)
-	outcome, events := core.RunPairTask(w.Services, w.Settings[t.Setting], opts, t.A, t.B)
+	outcome, events := core.RunPairTask(w.Services, w.Settings[t.Setting], opts, t)
 	payload, err := json.Marshal(outcome)
 	if err != nil {
 		w.progress("fleet: encode outcome for pair %d|%d: %v", t.A, t.B, err)

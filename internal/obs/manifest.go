@@ -32,7 +32,11 @@ type Manifest struct {
 	// (obs stays dependency-free, so the concrete type lives upstream).
 	Settings     any  `json:"settings"`
 	ChaosEnabled bool `json:"chaos_enabled"`
-	Interrupted  bool `json:"interrupted"`
+	// AdaptiveEnabled records whether the run used adaptive trial
+	// budgets (omitted on fixed-budget runs so their manifests are
+	// unchanged byte for byte).
+	AdaptiveEnabled bool `json:"adaptive_enabled,omitempty"`
+	Interrupted     bool `json:"interrupted"`
 
 	// Breakers is the per-service circuit-breaker state at cycle end
 	// (empty when the supervision layer is disabled or all healthy

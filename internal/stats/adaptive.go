@@ -1,0 +1,154 @@
+package stats
+
+// Sequential stopping for adaptive trial budgets. A SequentialPolicy is
+// evaluated after every counted trial on the accumulated MmF-share
+// series of both slots, and decides — as a pure function of those
+// series and nothing else — whether the pair needs more trials. Purity
+// is the load-bearing property: a resumed cycle replaying journaled
+// trials, a fleet worker executing the pair remotely, and an
+// uninterrupted serial run all reconstruct the identical share prefix
+// and therefore reach the identical stopping decision, which is what
+// keeps adaptive reports byte-identical across resume/replay and any
+// worker count.
+
+// Stop reasons reported by SequentialPolicy.Evaluate. They label the
+// prudentia_adaptive_stops_total counter and PairOutcome.StopReason.
+const (
+	// StopCIWidth: the distribution-free 95% CI on both slots' share
+	// medians narrowed below the policy's MaxCIWidth.
+	StopCIWidth = "ci_width"
+	// StopStable: the fair/unfair verdict was identical after each of
+	// the last StableK trials.
+	StopStable = "verdict_stable"
+	// StopBudget: the pair exhausted its allocated trial budget without
+	// meeting either convergence criterion.
+	StopBudget = "budget"
+)
+
+// SequentialPolicy is the deterministic sequential stopper: evaluate
+// after every trial, stop as soon as the verdict is statistically
+// settled or the budget runs out.
+type SequentialPolicy struct {
+	// MinTrials is the floor below which Evaluate never stops (clamped
+	// to MaxTrials when the allocated budget is smaller).
+	MinTrials int
+	// MaxTrials is the pair's trial ceiling — under coarse-to-fine
+	// screening, the per-pair allocated budget rather than the global
+	// maximum. Reaching it stops with StopBudget. Zero means no ceiling.
+	MaxTrials int
+	// MaxCIWidth is the convergence target in share points: stop when
+	// the wider of the two slots' median-CI widths is at most this.
+	// Zero disables the CI-width rule.
+	MaxCIWidth float64
+	// StableK stops after K consecutive trials that each left the
+	// fair/unfair verdict unchanged. Zero disables the stability rule.
+	StableK int
+	// FairSharePct is the verdict boundary: a pair is "fair" when both
+	// slots' median shares are at least this many percent of the MmF
+	// fair share.
+	FairSharePct float64
+}
+
+// StopDecision is Evaluate's verdict on one share prefix.
+type StopDecision struct {
+	// Stop reports whether the pair needs no further trials.
+	Stop bool
+	// Reason is StopCIWidth, StopStable, or StopBudget when Stop is
+	// true, empty otherwise.
+	Reason string
+	// CIWidth is the wider of the two slots' median-CI widths, for
+	// telemetry.
+	CIWidth float64
+	// Fair is the current verdict (both medians ≥ FairSharePct).
+	Fair bool
+}
+
+// CIWidth returns the width of the distribution-free 95% CI on the
+// median (MedianCI's hi − lo). For n < 3 this degrades to the sample
+// range, which is exactly the conservative behaviour a stopper wants:
+// two agreeing trials may stop, two disagreeing ones cannot.
+func CIWidth(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := MedianCI(xs)
+	return hi - lo
+}
+
+// Fair reports the pair's fairness verdict on a share prefix: both
+// slots' median MmF shares are at least fairPct percent.
+func Fair(s0, s1 []float64, fairPct float64) bool {
+	return Median(s0) >= fairPct && Median(s1) >= fairPct
+}
+
+// Evaluate applies the stopping rules to the accumulated share series
+// of both slots (equal length, one entry per counted trial, in trial
+// order). Rules are checked in a fixed order — CI width, verdict
+// stability, budget — so the recorded stop reason is deterministic too.
+func (p SequentialPolicy) Evaluate(s0, s1 []float64) StopDecision {
+	n := len(s0)
+	d := StopDecision{Fair: Fair(s0, s1, p.FairSharePct)}
+	if w := CIWidth(s1); w > d.CIWidth {
+		d.CIWidth = w
+	}
+	if w := CIWidth(s0); w > d.CIWidth {
+		d.CIWidth = w
+	}
+	if n == 0 {
+		return d
+	}
+	min := p.MinTrials
+	if p.MaxTrials > 0 && min > p.MaxTrials {
+		min = p.MaxTrials
+	}
+	if n < min {
+		return d
+	}
+	if p.MaxCIWidth > 0 && d.CIWidth <= p.MaxCIWidth {
+		d.Stop, d.Reason = true, StopCIWidth
+		return d
+	}
+	if p.StableK > 0 && n >= p.StableK && p.verdictStable(s0, s1) {
+		d.Stop, d.Reason = true, StopStable
+		return d
+	}
+	if p.MaxTrials > 0 && n >= p.MaxTrials {
+		d.Stop, d.Reason = true, StopBudget
+		return d
+	}
+	return d
+}
+
+// verdictStable reports whether the fair/unfair verdict was identical
+// after each of the last StableK prefixes. A verdict flip inside the
+// window restarts the stability count by construction: the flipped
+// prefix disagrees with its successors until it ages out.
+func (p SequentialPolicy) verdictStable(s0, s1 []float64) bool {
+	n := len(s0)
+	want := Fair(s0, s1, p.FairSharePct)
+	for i := 1; i < p.StableK; i++ {
+		if Fair(s0[:n-i], s1[:n-i], p.FairSharePct) != want {
+			return false
+		}
+	}
+	return true
+}
+
+// ScreenScore ranks a pair's contestedness from a coarse screening
+// trial: the distance of the losing slot's share from the fairness
+// boundary. Lower is more contested — a pair sitting right on the
+// boundary needs full-depth trials to call, while one far on either
+// side converges immediately. Callers use −1 (sorting before every real
+// score) for pairs whose screening produced no signal, so uncertainty
+// also buys depth.
+func ScreenScore(share0, share1, fairPct float64) float64 {
+	min := share0
+	if share1 < min {
+		min = share1
+	}
+	d := min - fairPct
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

@@ -1,9 +1,18 @@
 // Package stats provides the statistical machinery behind Prudentia's
-// stopping rules (§3.4): medians, quantiles, inter-quartile ranges, and
+// stopping rules (§3.4): medians, quantiles, inter-quartile ranges,
 // distribution-free 95% confidence intervals for the median based on
-// order statistics. Jain's fairness index is included for tests and
-// comparisons, though the paper deliberately reports per-service MmF
-// shares instead (§2.2).
+// order statistics, and the sequential stopper behind adaptive trial
+// budgets (adaptive.go). Jain's fairness index is included for tests
+// and comparisons, though the paper deliberately reports per-service
+// MmF shares instead (§2.2).
+//
+// Invariants: every function in this package is a pure function of its
+// numeric arguments — no randomness, no clock, no global state — and
+// none mutates its input slices (order statistics sort private copies).
+// The scheduler, the resume/replay machinery, and the fleet merge all
+// rely on this: feeding the same trial prefix to the same policy must
+// produce the same stopping decision in every process that evaluates
+// it.
 package stats
 
 import (

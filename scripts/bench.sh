@@ -17,6 +17,15 @@
 #                                  ns/op regresses more than 10% over the committed
 #                                  BENCH_sim.json, or any allocs/op exceeds it
 #
+#   scripts/bench.sh adaptive [benchtime]
+#                                  adaptive trial-budget benchmark
+#                                  (BenchmarkAdaptiveMatrix): the same matrix under
+#                                  the fixed protocol and under adaptive stopping
+#                                  -> BENCH_adaptive.json (trials/cycle and
+#                                  simsec/wallsec per mode, trials_saved_pct).
+#                                  Fails if the saving is under the 30% acceptance
+#                                  floor.
+#
 # Speedup in parallel mode is hardware-dependent: the matrix fans pairs out
 # across OS threads, so gains cap at min(workers, GOMAXPROCS, CPUs). On a
 # 1-CPU host every worker count measures the same serial throughput plus
@@ -239,9 +248,70 @@ parallel_mode() {
     cat "$out"
 }
 
+# adaptive_mode reduces BenchmarkAdaptiveMatrix's two sub-benchmarks —
+# the same matrix under the fixed §3.4 protocol and under adaptive
+# stopping — into BENCH_adaptive.json, and enforces the acceptance
+# floor: adaptive must save at least 30% of the fixed protocol's
+# counted trials while reaching the same verdicts (the verdict half is
+# asserted by TestAdaptiveVsFixedEquivalence; this gate records and
+# guards the savings half).
+adaptive_mode() {
+    local benchtime="${1:-3x}"
+    local out="BENCH_adaptive.json"
+    RAWTMP="$(mktemp)"
+    trap 'rm -f "$RAWTMP"' EXIT
+    local raw="$RAWTMP"
+
+    go test ./internal/core/ -run '^$' -bench '^BenchmarkAdaptiveMatrix$' \
+        -benchtime "$benchtime" -count=1 | tee "$raw"
+
+    awk -v benchtime="$benchtime" '
+    /^BenchmarkAdaptiveMatrix\/mode=/ {
+        split($1, parts, "=")
+        mode = parts[2]
+        sub(/-[0-9]+$/, "", mode)
+        ns[mode] = $3 + 0
+        for (i = 4; i < NF; i++) {
+            if ($(i+1) == "trials/cycle") tc[mode] = $i + 0
+            if ($(i+1) == "simsec/wallsec") sw[mode] = $i + 0
+        }
+        seen[mode] = 1
+    }
+    END {
+        if (!("fixed" in seen) || !("adaptive" in seen)) {
+            print "bench-adaptive: missing fixed or adaptive sub-benchmark in output" > "/dev/stderr"
+            exit 1
+        }
+        saved = (tc["fixed"] > 0) ? 100 * (tc["fixed"] - tc["adaptive"]) / tc["fixed"] : 0
+        printf "{\n"
+        printf "  \"benchmark\": \"BenchmarkAdaptiveMatrix\",\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"fixed\": {\"ns_per_op\": %.0f, \"trials_per_cycle\": %.0f, \"simsec_wallsec\": %.1f},\n", \
+            ns["fixed"], tc["fixed"], sw["fixed"]
+        printf "  \"adaptive\": {\"ns_per_op\": %.0f, \"trials_per_cycle\": %.0f, \"simsec_wallsec\": %.1f},\n", \
+            ns["adaptive"], tc["adaptive"], sw["adaptive"]
+        printf "  \"trials_saved_pct\": %.1f\n", saved
+        printf "}\n"
+    }' "$raw" > "$out"
+
+    echo
+    echo "wrote $out:"
+    cat "$out"
+
+    saved="$(awk -F'[:,]' '/"trials_saved_pct"/ { print $2 + 0 }' "$out")"
+    if ! awk -v s="$saved" 'BEGIN { exit !(s >= 30) }'; then
+        echo "bench-adaptive: FAILED — adaptive saved only ${saved}% of fixed trials (acceptance floor: 30%)" >&2
+        exit 1
+    fi
+    echo "bench-adaptive: OK (adaptive saves ${saved}% of fixed trials)"
+}
+
 case "${1:-}" in
 sim)
     sim_mode "${2:-1s}"
+    ;;
+adaptive)
+    adaptive_mode "${2:-3x}"
     ;;
 -check)
     check_mode

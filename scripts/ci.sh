@@ -204,6 +204,31 @@ for dir in internal/*/ cmd/*/ .; do
 done
 [ "$missing" -eq 0 ] || { echo "ci: doc gate failed" >&2; exit 1; }
 
+# Exported-symbol doc gate: the packages whose invariants other layers
+# lean on (the stats stopper's purity, the fleet protocol's byte
+# identity, the journal's durability frame) must document every
+# exported symbol — a top-level exported func, method, type, var, or
+# const with no doc comment immediately above it fails the build.
+for pkg in internal/stats internal/fleet internal/journal; do
+    for f in "$pkg"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        awk -v file="$f" '
+            /^(func [A-Z]|func \([^)]*\) [A-Z]|type [A-Z]|var [A-Z]|const [A-Z])/ {
+                if (prev !~ /^\/\// && prev !~ /\*\/$/) {
+                    sym = $0
+                    sub(/[({=].*$/, "", sym)
+                    printf "ci: %s:%d: exported symbol has no doc comment: %s\n", file, NR, sym > "/dev/stderr"
+                    bad = 1
+                }
+            }
+            { prev = $0 }
+            END { exit bad }
+        ' "$f" || missing=1
+    done
+done
+[ "$missing" -eq 0 ] || { echo "ci: exported-symbol doc gate failed" >&2; exit 1; }
+
 # Focused race gate for the parallel matrix engine: the determinism and
 # interrupt/resume tests double as the data-race probes for the worker
 # pool, ordered merge, and shared fault ledger.
@@ -259,3 +284,21 @@ for f in metrics.prom timeline.jsonl manifest.json; do
     [ -s "$ARTIFACTS/$f" ] || { echo "ci: acceptance run produced no $f" >&2; exit 1; }
 done
 echo "ci: acceptance artifacts in $ARTIFACTS/"
+
+# Adaptive escape-hatch gate: -adaptive -fixed-trials must disarm the
+# adaptive subsystem completely — its report is byte-compared against
+# the plain serial run above's golden output. Any divergence means the
+# adaptive code path leaked into fixed-budget execution.
+go run ./cmd/prudentia -cycles 1 -setting high -workers 4 -seed 42 \
+    -services "iPerf (Cubic),iPerf (BBR)" \
+    > "$ARTIFACTS/report-serial.txt"
+go run ./cmd/prudentia -cycles 1 -setting high -workers 4 -seed 42 \
+    -services "iPerf (Cubic),iPerf (BBR)" \
+    -adaptive -fixed-trials \
+    > "$ARTIFACTS/report-fixed-trials.txt"
+if ! diff -u "$ARTIFACTS/report-serial.txt" "$ARTIFACTS/report-fixed-trials.txt"; then
+    echo "ci: -adaptive -fixed-trials report diverged from the plain serial run" >&2
+    exit 1
+fi
+rm -f "$ARTIFACTS/report-serial.txt" "$ARTIFACTS/report-fixed-trials.txt"
+echo "ci: adaptive escape hatch byte-identical to serial report"
