@@ -28,6 +28,15 @@
 // is byte-identical to a run without -adaptive), and a -resume from a
 // pre-adaptive checkpoint falls back to it automatically.
 //
+// Per-pair statistics accumulate in O(1) mergeable quantile sketches by
+// default (docs/SKETCHES.md): bit-identical medians/CIs at the standard
+// trial budgets with constant memory per pair at any trial count.
+// -exact-stats retains the raw per-trial ledger instead (the escape
+// hatch; reports are byte-identical either way). -sweep replaces the
+// watchdog cycles with a rate × RTT × queue × CCA parameter grid and
+// writes consolidated TSV/JSON artifacts (-sweep-rates, -sweep-rtts,
+// -sweep-queues, -sweep-ccas, -sweep-out; scripts/sweep.sh wraps it).
+//
 // -workers N (default GOMAXPROCS) fans calibrations and pair trials out
 // to a worker pool; every trial owns a private simulation engine and
 // emulated testbed, and completed work is merged in canonical order, so
@@ -98,6 +107,17 @@ func main() {
 		minTrials  = flag.Int("min-trials", 0, "adaptive: floor below which no pair stops early (0 = default 2)")
 		fixedTrial = flag.Bool("fixed-trials", false, "force the fixed trial protocol even with -adaptive (the golden/acceptance escape hatch; output is byte-identical to a run without -adaptive)")
 		soak       = flag.Int("soak", 0, "soak mode: run N consecutive cycles carrying circuit-breaker state across cycles, printing breaker status after each (overrides -cycles)")
+		exactStats = flag.Bool("exact-stats", false, "retain the raw per-trial ledger instead of O(1) mergeable quantile sketches (the statistics escape hatch; reports are byte-identical either way at the standard trial budgets)")
+
+		// Sweep mode: a rate × RTT × queue × CCA parameter grid instead
+		// of watchdog cycles, emitting consolidated TSV/JSON artifacts
+		// (see cmd/prudentia/sweep.go and scripts/sweep.sh).
+		sweepMode   = flag.Bool("sweep", false, "sweep mode: run the pair matrix of -sweep-ccas at every rate × RTT × queue grid point and write <-sweep-out>.tsv/.json instead of running cycles")
+		sweepRates  = flag.String("sweep-rates", "8,50", "sweep: comma-separated bottleneck rates in Mbps")
+		sweepRTTs   = flag.String("sweep-rtts", "25,50,100", "sweep: comma-separated round-trip times in ms")
+		sweepQueues = flag.String("sweep-queues", "64,256", "sweep: comma-separated drop-tail queue capacities in packets")
+		sweepCCAs   = flag.String("sweep-ccas", "iPerf (Cubic),iPerf (BBR),iPerf (Reno)", "sweep: comma-separated catalog service names forming the pair matrix at each grid point")
+		sweepOut    = flag.String("sweep-out", "sweep", "sweep: output path prefix (writes <prefix>.tsv and <prefix>.json)")
 
 		// Fleet mode: one coordinator shards the pair matrix over N
 		// worker processes (prudentia.fleet/1 over TCP); the merged
@@ -140,6 +160,7 @@ func main() {
 			MinTrials:  *minTrials,
 		}
 	}
+	w.Opts.SketchStats = !*exactStats
 	w.JournalPath = *journal
 	soakMode := *soak > 0
 	if soakMode {
@@ -168,6 +189,33 @@ func main() {
 		w.Progress = func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		}
+	}
+
+	// Sweep mode: run the parameter grid and exit — no cycles, no
+	// checkpoints; the artifacts are the deliverable.
+	if *sweepMode {
+		cfg := sweepConfig{
+			CCAs:    splitTrim(*sweepCCAs),
+			Out:     *sweepOut,
+			Workers: *workers,
+			Seed:    *seed,
+			Exact:   *exactStats,
+			Verbose: *verbose,
+		}
+		var err error
+		if cfg.RatesMbps, err = parseSweepFloats("sweep-rates", *sweepRates); err == nil {
+			if cfg.RTTsMs, err = parseSweepFloats("sweep-rtts", *sweepRTTs); err == nil {
+				cfg.Queues, err = parseSweepInts("sweep-queues", *sweepQueues)
+			}
+		}
+		if err == nil {
+			err = runSweep(cfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prudentia: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	// Fleet worker mode: serve pairs for a coordinator and exit. The

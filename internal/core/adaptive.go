@@ -70,7 +70,7 @@ func (a *AdaptiveOptions) withDefaults() *AdaptiveOptions {
 		d.StableK = 3
 	}
 	if d.FairSharePct == 0 {
-		d.FairSharePct = 80
+		d.FairSharePct = stats.DefaultFairSharePct
 	}
 	if d.ScreenTrials == 0 {
 		d.ScreenTrials = 1

@@ -11,8 +11,9 @@ import (
 //
 // The snapshot's counters reconcile exactly with the cycle result:
 //
-//	prudentia_trials_completed_total == Σ len(PairOutcome.Trials)
+//	prudentia_trials_completed_total == Σ PairOutcome.Counted()
 //	prudentia_netem_dropped_packets_total == Σ Trials[].Obs.DroppedPackets
+//	  (in sketch mode, == Σ Sketches.Obs.DroppedPackets — same totals)
 //
 // and so on for every netem/transport/chaos family, because those
 // families fold only counted pair trials (see Instruments).
@@ -22,6 +23,9 @@ func (w *Watchdog) BuildManifest(cr *CycleResult, reg *obs.Registry) obs.Manifes
 	m.BaseSeed = w.Opts.BaseSeed
 	m.ChaosEnabled = w.Opts.Chaos.Enabled()
 	m.AdaptiveEnabled = w.Opts.Adaptive != nil
+	if w.Opts.SketchStats {
+		m.StatsMode = "sketch"
+	}
 	for _, svc := range w.Services {
 		m.Services = append(m.Services, svc.Name())
 	}

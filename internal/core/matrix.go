@@ -171,6 +171,9 @@ func (m *Matrix) Run() (*MatrixResult, error) {
 					Contender: m.Services[j].Name(),
 				},
 			}
+			if opts.SketchStats {
+				st.outcome.Sketches = newPairSketches()
+			}
 			states = append(states, st)
 			res.Pairs[key] = st.outcome
 		}
@@ -248,7 +251,7 @@ func (m *Matrix) finish(st *pairState) {
 		return
 	}
 	m.Progress("pair %s: %d trials, share %.0f%%/%.0f%%, unstable=%v",
-		st.pairLabel(), len(o.Trials),
+		st.pairLabel(), o.Counted(),
 		o.MedianSharePct(0), o.MedianSharePct(1), o.Unstable)
 }
 
@@ -291,7 +294,7 @@ func (r *MatrixResult) SharePct(incumbent, contender string) (float64, bool) {
 	if p.Failed {
 		return math.NaN(), true
 	}
-	if len(p.Trials) == 0 {
+	if p.Counted() == 0 {
 		return 0, false
 	}
 	return p.MedianSharePct(slot), true
@@ -309,7 +312,7 @@ func (r *MatrixResult) Utilization(a, b string) (float64, bool) {
 	if p.Failed {
 		return math.NaN(), true
 	}
-	if len(p.Trials) == 0 {
+	if p.Counted() == 0 {
 		return 0, false
 	}
 	return p.MedianUtilization(), true
@@ -327,7 +330,7 @@ func (r *MatrixResult) LossRate(incumbent, contender string) (float64, bool) {
 	if p.Failed {
 		return math.NaN(), true
 	}
-	if len(p.Trials) == 0 {
+	if p.Counted() == 0 {
 		return 0, false
 	}
 	return p.MedianLoss(slot), true
@@ -345,7 +348,7 @@ func (r *MatrixResult) QueueDelayMs(incumbent, contender string) (float64, bool)
 	if p.Failed {
 		return math.NaN(), true
 	}
-	if len(p.Trials) == 0 {
+	if p.Counted() == 0 {
 		return 0, false
 	}
 	return p.MedianQueueDelay(slot).Seconds() * 1000, true
@@ -372,7 +375,7 @@ func (r *MatrixResult) LosingShares() []float64 {
 	for i := range r.Names {
 		for j := i + 1; j < len(r.Names); j++ {
 			p := r.Pairs[pairKey(i, j)]
-			if p == nil || p.Failed || len(p.Trials) == 0 {
+			if p == nil || p.Failed || p.Counted() == 0 {
 				continue
 			}
 			s0, s1 := p.MedianSharePct(0), p.MedianSharePct(1)
@@ -392,7 +395,7 @@ func (r *MatrixResult) SelfShares() []float64 {
 	var out []float64
 	for i := range r.Names {
 		p := r.Pairs[pairKey(i, i)]
-		if p == nil || p.Failed || len(p.Trials) == 0 {
+		if p == nil || p.Failed || p.Counted() == 0 {
 			continue
 		}
 		out = append(out, p.MedianSharePct(0), p.MedianSharePct(1))

@@ -165,12 +165,109 @@ func (in *Instruments) now() time.Time {
 	return time.Now()
 }
 
+// trialAccum is a pair-local batched view of the hottest counter
+// families — the trial ledger (started/completed) and the per-trial
+// netem/transport/chaos aggregates folded by foldObs. The pair
+// protocol adds deltas to plain cells while it owns the accumulator
+// and commits each family's net total with one atomic add at pair
+// completion (stats.Accum), cutting ~16 contended atomic operations
+// per counted trial to ~16 per *pair*. The occupancy high water is
+// max-semantics, not additive, so it batches as a local max committed
+// through SetMax — max is commutative too, so totals and gauges are
+// identical to the unbatched path for any worker count or flush
+// schedule.
+type trialAccum struct {
+	ins *Instruments
+	acc *stats.Accum
+
+	started, completed                                       int
+	arrived, dropped, delivered, delBytes, external, chaosDp int
+	retx, timeouts, cwnd, tailProbes                         int
+	flaps, sags, stalls                                      int
+
+	occHigh float64
+}
+
+// newTrialAccum binds a fresh accumulator to the registry's hot
+// counters (nil-safe: nil Instruments yields a nil accumulator, and
+// every trialAccum method no-ops on nil).
+func (in *Instruments) newTrialAccum() *trialAccum {
+	if in == nil {
+		return nil
+	}
+	ta := &trialAccum{ins: in, acc: stats.NewAccum()}
+	ta.started = ta.acc.Cell(in.trialsStarted.Add)
+	ta.completed = ta.acc.Cell(in.trialsCompleted.Add)
+	ta.arrived = ta.acc.Cell(in.netemArrived.Add)
+	ta.dropped = ta.acc.Cell(in.netemDropped.Add)
+	ta.delivered = ta.acc.Cell(in.netemDelivered.Add)
+	ta.delBytes = ta.acc.Cell(in.netemDelBytes.Add)
+	ta.external = ta.acc.Cell(in.netemExternal.Add)
+	ta.chaosDp = ta.acc.Cell(in.netemChaos.Add)
+	ta.retx = ta.acc.Cell(in.transportRetx.Add)
+	ta.timeouts = ta.acc.Cell(in.transportTimeouts.Add)
+	ta.cwnd = ta.acc.Cell(in.transportCwndEvents.Add)
+	ta.tailProbes = ta.acc.Cell(in.transportTailProbes.Add)
+	ta.flaps = ta.acc.Cell(in.chaosFlaps.Add)
+	ta.sags = ta.acc.Cell(in.chaosSags.Add)
+	ta.stalls = ta.acc.Cell(in.chaosStalls.Add)
+	return ta
+}
+
+// foldObs batches one counted trial's aggregate (the accumulator
+// counterpart of Instruments.foldObs).
+func (ta *trialAccum) foldObs(o TrialObs) {
+	ta.acc.Add(ta.arrived, o.ArrivedPackets)
+	ta.acc.Add(ta.dropped, o.DroppedPackets)
+	ta.acc.Add(ta.delivered, o.DeliveredPackets)
+	ta.acc.Add(ta.delBytes, o.DeliveredBytes)
+	ta.acc.Add(ta.external, o.ExternalDrops)
+	ta.acc.Add(ta.chaosDp, o.ChaosDrops)
+	ta.acc.Add(ta.retx, o.Retransmits)
+	ta.acc.Add(ta.timeouts, o.Timeouts)
+	ta.acc.Add(ta.cwnd, o.CwndEvents)
+	ta.acc.Add(ta.tailProbes, o.TailProbes)
+	ta.acc.Add(ta.flaps, o.ChaosFlaps)
+	ta.acc.Add(ta.sags, o.ChaosSags)
+	ta.acc.Add(ta.stalls, o.ChaosStalls)
+	if hw := float64(o.OccupancyHighWater); hw > ta.occHigh {
+		ta.occHigh = hw
+	}
+}
+
+// flush commits every batched delta to the shared registry.
+func (ta *trialAccum) flush() {
+	if ta == nil {
+		return
+	}
+	ta.acc.Flush()
+	if ta.occHigh > 0 {
+		ta.ins.occupancyHigh.SetMax(ta.occHigh)
+		ta.occHigh = 0
+	}
+}
+
 // trialStart records one attempt entering execution.
 func (in *Instruments) trialStart(pair string, seed uint64, attempt int) {
 	if in == nil {
 		return
 	}
 	in.trialsStarted.Inc()
+	in.emit(obs.TimelineEvent{Kind: "trial_start", Pair: pair, Seed: seed, Attempt: attempt})
+}
+
+// trialStartBatched is trialStart with the started counter routed
+// through the pair's accumulator (timeline events are not batched —
+// they are ordered observability data, not contended counters).
+func (in *Instruments) trialStartBatched(ta *trialAccum, pair string, seed uint64, attempt int) {
+	if in == nil {
+		return
+	}
+	if ta == nil {
+		in.trialStart(pair, seed, attempt)
+		return
+	}
+	ta.acc.Inc(ta.started)
 	in.emit(obs.TimelineEvent{Kind: "trial_start", Pair: pair, Seed: seed, Attempt: attempt})
 }
 
@@ -193,6 +290,25 @@ func (in *Instruments) trialOK(pair string, seed uint64, attempt int, res *Trial
 	}
 	in.trialsCompleted.Inc()
 	in.foldObs(res.Obs)
+	wall := in.trialDurations(res.Obs.SimSeconds, start)
+	in.emit(obs.TimelineEvent{Kind: "trial_ok", Pair: pair, Seed: seed, Attempt: attempt,
+		SimSeconds: res.Obs.SimSeconds, WallSeconds: wall})
+}
+
+// trialOKBatched is trialOK with the completed counter and the foldObs
+// family routed through the pair's accumulator. Duration histograms
+// record per trial either way: histogram observations are individual
+// samples, not summable deltas.
+func (in *Instruments) trialOKBatched(ta *trialAccum, pair string, seed uint64, attempt int, res *TrialResult, start time.Time) {
+	if in == nil {
+		return
+	}
+	if ta == nil {
+		in.trialOK(pair, seed, attempt, res, start)
+		return
+	}
+	ta.acc.Inc(ta.completed)
+	ta.foldObs(res.Obs)
 	wall := in.trialDurations(res.Obs.SimSeconds, start)
 	in.emit(obs.TimelineEvent{Kind: "trial_ok", Pair: pair, Seed: seed, Attempt: attempt,
 		SimSeconds: res.Obs.SimSeconds, WallSeconds: wall})
@@ -280,9 +396,9 @@ func (in *Instruments) remotePair(o *PairOutcome) {
 	if in == nil || o == nil {
 		return
 	}
-	started := int64(len(o.Trials) + len(o.Failures) + o.Discards + o.Corrupt)
+	started := int64(o.Counted() + len(o.Failures) + o.Discards + o.Corrupt)
 	in.trialsStarted.Add(started)
-	in.trialsCompleted.Add(int64(len(o.Trials)))
+	in.trialsCompleted.Add(int64(o.Counted()))
 	in.trialsFailed.Add(int64(len(o.Failures)))
 	for _, f := range o.Failures {
 		switch f.Kind {
@@ -299,6 +415,20 @@ func (in *Instruments) remotePair(o *PairOutcome) {
 	in.trialsDiscarded.Add(int64(o.Discards))
 	in.trialsCorrupt.Add(int64(o.Corrupt))
 	in.retries.Add(int64(o.Retries))
+	if sk := o.Sketches; sk != nil {
+		// Sketch mode ships no per-trial data; the summed aggregate
+		// carries identical counter totals in one fold, and the
+		// sim-duration histogram replays from the duration sketch
+		// (exact samples within the buffer cap, bucket representatives
+		// beyond it — histograms only see bucketed values anyway).
+		in.foldObs(sk.Obs)
+		sk.SimSeconds.Each(func(v float64, n int64) {
+			for k := int64(0); k < n; k++ {
+				in.trialSim.Observe(v)
+			}
+		})
+		return
+	}
 	for i := range o.Trials {
 		in.foldObs(o.Trials[i].Obs)
 		in.trialSim.Observe(o.Trials[i].Obs.SimSeconds)
@@ -341,7 +471,7 @@ func (in *Instruments) pairDone(st *pairState) {
 		case stats.StopBudget:
 			in.adaptiveStopBudget.Inc()
 		}
-		if saved := o.Budget - len(o.Trials); saved > 0 {
+		if saved := o.Budget - o.Counted(); saved > 0 {
 			in.adaptiveSaved.Add(int64(saved))
 		}
 		detail += " stop=" + o.StopReason

@@ -49,16 +49,28 @@ type SchedulerOptions struct {
 	// moment its verdict is statistically settled. Nil preserves the
 	// fixed protocol — and the golden acceptance output — bit for bit.
 	Adaptive *AdaptiveOptions
+	// SketchStats replaces the store-everything per-pair statistics
+	// (PairOutcome.Trials) with mergeable quantile sketches
+	// (sketchstats.go): state per pair becomes O(1) in the trial
+	// count, and fleet workers ship fixed-size encoded sketches
+	// instead of raw samples. Within stats.SketchBufferCap counted
+	// trials — which covers every paper budget — sketch queries are
+	// bit-identical to the raw-sample statistics, so the verdict
+	// matrix and report do not change byte for byte; only the retained
+	// state does. False preserves the raw Trials slice exactly as
+	// before.
+	SketchStats bool
 }
 
 // IsZero reports whether no field was set. Watchdog.RunCycle applies
 // the per-setting PaperOptions only in that case — a caller who sets
 // any field (for example only Timing) keeps their options, with the
-// remaining fields defaulted. WallBudget and Adaptive are deliberately
-// excluded: the reaper is a supervision knob and the adaptive stopper
-// a budget policy, both orthogonal to the measurement protocol, so
+// remaining fields defaulted. WallBudget, Adaptive, and SketchStats
+// are deliberately excluded: the reaper is a supervision knob, the
+// adaptive stopper a budget policy, and the sketch switch a statistics
+// representation — all orthogonal to the measurement protocol — so
 // setting only them still gets the per-setting paper options (RunCycle
-// carries both over).
+// carries all three over).
 func (o SchedulerOptions) IsZero() bool {
 	return o.MinTrials == 0 && o.MaxTrials == 0 && o.Step == 0 &&
 		o.ToleranceMbps == 0 && o.BaseSeed == 0 && o.Timing == nil &&
@@ -164,6 +176,23 @@ type PairOutcome struct {
 	// Budget is the pair's allocated trial ceiling under adaptive
 	// budgets (zero on fixed-budget runs).
 	Budget int `json:"budget,omitempty"`
+	// Sketches, under SchedulerOptions.SketchStats, replaces Trials as
+	// the pair's statistics state: O(1) mergeable quantile sketches
+	// per metric plus the summed telemetry aggregate. Nil on
+	// exact-sample runs, so their checkpoints and wire format are
+	// unchanged byte for byte.
+	Sketches *PairSketches `json:"sketches,omitempty"`
+}
+
+// Counted returns the number of counted trials regardless of the
+// statistics representation: the sketch count under SketchStats, the
+// raw slice length otherwise. All "how many trials entered the
+// statistic" logic goes through here.
+func (p *PairOutcome) Counted() int {
+	if p.Sketches != nil {
+		return p.Sketches.N
+	}
+	return len(p.Trials)
 }
 
 // mbps returns the per-trial throughput series for one slot.
@@ -186,21 +215,33 @@ func (p *PairOutcome) SharePcts(slot int) []float64 {
 
 // MedianSharePct is the heatmap cell value for a slot.
 func (p *PairOutcome) MedianSharePct(slot int) float64 {
+	if p.Sketches != nil {
+		return p.Sketches.SharePct[slot].Median()
+	}
 	return stats.Median(p.SharePcts(slot))
 }
 
 // IQRSharePct is the error bar for a slot.
 func (p *PairOutcome) IQRSharePct(slot int) float64 {
+	if p.Sketches != nil {
+		return p.Sketches.SharePct[slot].IQR()
+	}
 	return stats.IQR(p.SharePcts(slot))
 }
 
 // MedianMbps is the median measured throughput for a slot.
 func (p *PairOutcome) MedianMbps(slot int) float64 {
+	if p.Sketches != nil {
+		return p.Sketches.Mbps[slot].Median()
+	}
 	return stats.Median(p.mbps(slot))
 }
 
 // MedianUtilization is the Fig 11 cell value.
 func (p *PairOutcome) MedianUtilization() float64 {
+	if p.Sketches != nil {
+		return p.Sketches.Utilization.Median()
+	}
 	xs := make([]float64, len(p.Trials))
 	for i, t := range p.Trials {
 		xs[i] = t.Utilization
@@ -210,6 +251,9 @@ func (p *PairOutcome) MedianUtilization() float64 {
 
 // MedianLoss is the Fig 12 cell value for a slot.
 func (p *PairOutcome) MedianLoss(slot int) float64 {
+	if p.Sketches != nil {
+		return p.Sketches.Loss[slot].Median()
+	}
 	xs := make([]float64, len(p.Trials))
 	for i, t := range p.Trials {
 		xs[i] = t.Loss[slot]
@@ -219,6 +263,9 @@ func (p *PairOutcome) MedianLoss(slot int) float64 {
 
 // MedianQueueDelay is the Fig 13 cell value for a slot.
 func (p *PairOutcome) MedianQueueDelay(slot int) sim.Time {
+	if p.Sketches != nil {
+		return sim.Time(p.Sketches.QueueDelaySec[slot].Median() * float64(sim.Second))
+	}
 	xs := make([]float64, len(p.Trials))
 	for i, t := range p.Trials {
 		xs[i] = t.QueueDelay[slot].Seconds()
@@ -226,10 +273,27 @@ func (p *PairOutcome) MedianQueueDelay(slot int) sim.Time {
 	return sim.Time(stats.Median(xs) * float64(sim.Second))
 }
 
+// ShareCI returns the 95% order-statistic confidence interval on one
+// slot's median MmF share percentage — the band the adaptive stopper
+// watches and the sweep harness exports. Zero-width at the sample when
+// fewer than three trials counted.
+func (p *PairOutcome) ShareCI(slot int) (lo, hi float64) {
+	if p.Counted() == 0 {
+		return 0, 0
+	}
+	if p.Sketches != nil {
+		return p.Sketches.SharePct[slot].MedianCI()
+	}
+	return stats.MedianCI(p.SharePcts(slot))
+}
+
 // ciSatisfied applies the §3.4 stopping rule to both slots' throughput.
 func (p *PairOutcome) ciSatisfied(tol float64) bool {
-	if len(p.Trials) == 0 {
+	if p.Counted() == 0 {
 		return false
+	}
+	if p.Sketches != nil {
+		return p.Sketches.Mbps[0].CIWithin(tol) && p.Sketches.Mbps[1].CIWithin(tol)
 	}
 	return stats.CIWithin(p.mbps(0), tol) && stats.CIWithin(p.mbps(1), tol)
 }
@@ -267,6 +331,9 @@ func RunPairObserved(incumbent, contender services.Service, net netem.Config, op
 		svcB:    contender,
 		target:  opts.MinTrials,
 		outcome: &PairOutcome{Incumbent: incumbent.Name()},
+	}
+	if opts.SketchStats {
+		st.outcome.Sketches = newPairSketches()
 	}
 	if contender != nil {
 		st.outcome.Contender = contender.Name()

@@ -28,6 +28,23 @@ type pairState struct {
 	done     bool
 	svcA     services.Service
 	svcB     services.Service
+
+	// Sketch-mode adaptive-stopper state (transient: both are
+	// reconstructed deterministically by the protocol itself, so they
+	// never ride a checkpoint — only completed pairs checkpoint, and
+	// journal replay re-runs the protocol from attempt 0).
+	//
+	// evalN is the counted-trial count at the last adaptive
+	// evaluation, making re-evaluations after non-counted attempts
+	// no-ops (the slice path gets the same idempotence by recomputing
+	// an unchanged prefix).
+	evalN int
+	// ring holds the Fair verdict recorded after each of the most
+	// recent counted trials (at most StableK−1 entries), replacing the
+	// slice path's prefix recomputation one-for-one: entry i is
+	// exactly the verdict the recomputation would recompute for that
+	// prefix, because the verdict is a pure function of the prefix.
+	ring []bool
 }
 
 // pairLabel names a pair for ledger events and progress lines.
@@ -61,6 +78,13 @@ type pairProtocol struct {
 	// executed attempt is recorded, and attempts recovered from a
 	// previous process are replayed by seed instead of re-simulated.
 	sink *journalSink
+	// batch, when non-nil, is the pair-local accumulator batching the
+	// hottest counter traffic (trial ledger, netem packet aggregates)
+	// into one commit per pair instead of a dozen atomic adds per
+	// trial. Committed totals are identical either way — counter
+	// addition is commutative — so batching changes cost, never
+	// values. Lazily created in run from ins.
+	batch *trialAccum
 }
 
 // attemptResult is one executed (or journal-replayed) attempt after
@@ -164,6 +188,12 @@ func executeAttempt(sink *journalSink, ins *Instruments, opts SchedulerOptions,
 // (if non-nil) before every trial. It returns false if interrupted, in
 // which case the outcome is incomplete and must not be treated as final.
 func (pp *pairProtocol) run(st *pairState, interrupt func() bool) bool {
+	if pp.batch == nil {
+		pp.batch = pp.ins.newTrialAccum() // nil ins → nil batch (unbatched no-op)
+	}
+	// Flush on every exit so an interrupted drain still commits the
+	// deltas its counted attempts accumulated.
+	defer pp.batch.flush()
 	for !st.done {
 		if interrupt != nil && interrupt() {
 			return false
@@ -201,7 +231,7 @@ func (pp *pairProtocol) runOne(st *pairState) {
 			spec = spec.DefaultTiming()
 		}
 		start := pp.ins.now()
-		pp.ins.trialStart(st.pairLabel(), seed, attempt)
+		pp.ins.trialStartBatched(pp.batch, st.pairLabel(), seed, attempt)
 		ar := executeAttempt(pp.sink, pp.ins, pp.opts, spec, st.pairLabel(), attempt)
 		switch ar.class {
 		case "fail":
@@ -244,8 +274,12 @@ func (pp *pairProtocol) runOne(st *pairState) {
 			}
 			continue
 		}
-		pp.ins.trialOK(st.pairLabel(), seed, attempt, &ar.res, start)
-		st.outcome.Trials = append(st.outcome.Trials, ar.res)
+		pp.ins.trialOKBatched(pp.batch, st.pairLabel(), seed, attempt, &ar.res, start)
+		if st.outcome.Sketches != nil {
+			st.outcome.Sketches.observe(&ar.res)
+		} else {
+			st.outcome.Trials = append(st.outcome.Trials, ar.res)
+		}
 		return
 	}
 }
@@ -265,7 +299,7 @@ func (pp *pairProtocol) evaluate(st *pairState) {
 		pp.evaluateAdaptive(st, ad)
 		return
 	}
-	n := len(st.outcome.Trials)
+	n := st.outcome.Counted()
 	if n < st.target {
 		return
 	}
@@ -292,7 +326,28 @@ func (pp *pairProtocol) evaluate(st *pairState) {
 // full depth, so it earns no instability verdict.
 func (pp *pairProtocol) evaluateAdaptive(st *pairState, ad *AdaptiveOptions) {
 	pol := ad.policy(st.budget, pp.opts.MaxTrials)
-	d := pol.Evaluate(st.outcome.SharePcts(0), st.outcome.SharePcts(1))
+	var d stats.StopDecision
+	if sk := st.outcome.Sketches; sk != nil {
+		// Sketch mode: the stopper reads sketch quantiles, and the
+		// stability rule reads the recorded verdict ring instead of
+		// recomputing prefixes. Evaluate only when a counted trial
+		// actually arrived — the slice path's re-evaluation of an
+		// unchanged prefix is a no-op by purity, and skipping it here
+		// keeps the ring one-entry-per-prefix.
+		if sk.N == st.evalN {
+			return
+		}
+		st.evalN = sk.N
+		d = pol.EvaluateSketch(sk.SharePct[0], sk.SharePct[1], st.ring)
+		if pol.StableK > 1 {
+			st.ring = append(st.ring, d.Fair)
+			if len(st.ring) > pol.StableK-1 {
+				st.ring = st.ring[1:]
+			}
+		}
+	} else {
+		d = pol.Evaluate(st.outcome.SharePcts(0), st.outcome.SharePcts(1))
+	}
 	if !d.Stop {
 		return
 	}

@@ -78,6 +78,9 @@ func RunPairTask(svcs []services.Service, net netem.Config, opts SchedulerOption
 			Contender: svcs[b].Name(),
 		},
 	}
+	if opts.SketchStats {
+		st.outcome.Sketches = newPairSketches()
+	}
 	var events []FaultEvent
 	pp := &pairProtocol{net: net, opts: opts,
 		emit: func(ev FaultEvent) { events = append(events, ev) }}

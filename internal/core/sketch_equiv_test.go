@@ -1,0 +1,211 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"prudentia/internal/netem"
+	"prudentia/internal/services"
+)
+
+// sketchTestServices is a small catalog exercising distinct CCAs.
+func sketchTestServices() []services.Service {
+	return []services.Service{
+		services.ByName("iPerf (Reno)"),
+		services.ByName("iPerf (Cubic)"),
+		services.ByName("iPerf (BBR)"),
+	}
+}
+
+// TestSketchMatrixEquivalence: the sketch-backed matrix produces the
+// identical verdict matrix to the exact-sample path — every accessor
+// the report layer reads must agree to the last bit on every pair,
+// because the sketch stays in its exact regime at real trial budgets.
+func TestSketchMatrixEquivalence(t *testing.T) {
+	svcs := sketchTestServices()
+	net := netem.HighlyConstrained()
+	run := func(sketch bool) *MatrixResult {
+		opts := fastOpts(net)
+		opts.SketchStats = sketch
+		m := &Matrix{Services: svcs, Net: net, Opts: opts}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	exact, sk := run(false), run(true)
+	for _, a := range exact.Names {
+		for _, b := range exact.Names {
+			pe, slot, _ := exact.Cell(a, b)
+			ps, _, _ := sk.Cell(a, b)
+			if pe.Counted() != ps.Counted() || pe.Unstable != ps.Unstable || pe.Failed != ps.Failed {
+				t.Fatalf("%s|%s: protocol diverged: n %d/%d unstable %v/%v",
+					a, b, pe.Counted(), ps.Counted(), pe.Unstable, ps.Unstable)
+			}
+			if pe.MedianSharePct(slot) != ps.MedianSharePct(slot) ||
+				pe.IQRSharePct(slot) != ps.IQRSharePct(slot) ||
+				pe.MedianMbps(slot) != ps.MedianMbps(slot) ||
+				pe.MedianUtilization() != ps.MedianUtilization() ||
+				pe.MedianLoss(slot) != ps.MedianLoss(slot) ||
+				pe.MedianQueueDelay(slot) != ps.MedianQueueDelay(slot) {
+				t.Fatalf("%s|%s slot %d: sketch statistics diverged from exact", a, b, slot)
+			}
+			elo, ehi := pe.ShareCI(slot)
+			slo, shi := ps.ShareCI(slot)
+			if elo != slo || ehi != shi {
+				t.Fatalf("%s|%s: ShareCI (%v,%v) != (%v,%v)", a, b, slo, shi, elo, ehi)
+			}
+			if ps.Sketches == nil || !ps.Sketches.SharePct[slot].Exact() {
+				t.Fatalf("%s|%s: sketch left exact regime at test trial budgets", a, b)
+			}
+		}
+	}
+}
+
+// TestSketchWorkerCountDeterminism: sketch-mode matrices are
+// byte-identical (JSON-compared) at any worker count, like every other
+// artifact in the repo.
+func TestSketchWorkerCountDeterminism(t *testing.T) {
+	svcs := sketchTestServices()
+	net := netem.HighlyConstrained()
+	run := func(workers int) []byte {
+		opts := fastOpts(net)
+		opts.SketchStats = true
+		m := &Matrix{Services: svcs, Net: net, Opts: opts, Workers: workers}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(res.Pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	serial := run(1)
+	for _, w := range []int{2, 5} {
+		if got := run(w); !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d: sketch matrix diverged from serial", w)
+		}
+	}
+}
+
+// TestSketchCheckpointRoundTrip: a sketch-backed PairOutcome survives
+// the checkpoint JSON format with byte-identical sketch state, so a
+// resumed sketch run restores exactly the statistics it flushed.
+func TestSketchCheckpointRoundTrip(t *testing.T) {
+	net := netem.HighlyConstrained()
+	opts := fastOpts(net)
+	opts.SketchStats = true
+	out, err := RunPair(services.ByName("iPerf (Reno)"), services.ByName("iPerf (Cubic)"), net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sketches == nil || out.Sketches.N == 0 {
+		t.Fatal("sketch mode produced no sketches")
+	}
+	blob, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PairOutcome
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counted() != out.Counted() {
+		t.Fatalf("round trip lost trials: %d != %d", back.Counted(), out.Counted())
+	}
+	for slot := 0; slot < 2; slot++ {
+		if !bytes.Equal(back.Sketches.SharePct[slot].Encode(), out.Sketches.SharePct[slot].Encode()) {
+			t.Fatalf("slot %d share sketch changed across JSON", slot)
+		}
+		if back.MedianSharePct(slot) != out.MedianSharePct(slot) {
+			t.Fatalf("slot %d median changed across JSON", slot)
+		}
+	}
+	if back.Sketches.Obs != out.Sketches.Obs {
+		t.Fatalf("telemetry aggregate changed: %+v != %+v", back.Sketches.Obs, out.Sketches.Obs)
+	}
+	reblob, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reblob, blob) {
+		t.Fatal("checkpoint JSON is not stable across a round trip")
+	}
+}
+
+// TestSketchAdaptiveEquivalence: under adaptive budgets the
+// sketch-backed sequential stopper (ring-buffered verdicts) stops every
+// pair at the same trial with the same reason as the slice-backed one.
+func TestSketchAdaptiveEquivalence(t *testing.T) {
+	svcs := sketchTestServices()
+	net := netem.HighlyConstrained()
+	run := func(sketch bool) *MatrixResult {
+		opts := fastOpts(net)
+		opts.MaxTrials, opts.Step = 8, 2
+		opts.Adaptive = &AdaptiveOptions{MinTrials: 2, CIWidthPct: 10}
+		opts.SketchStats = sketch
+		m := &Matrix{Services: svcs, Net: net, Opts: opts}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	exact, sk := run(false), run(true)
+	for _, a := range exact.Names {
+		for _, b := range exact.Names {
+			pe, _, _ := exact.Cell(a, b)
+			ps, _, _ := sk.Cell(a, b)
+			if pe.Counted() != ps.Counted() || pe.StopReason != ps.StopReason ||
+				pe.Budget != ps.Budget || pe.Unstable != ps.Unstable {
+				t.Fatalf("%s|%s: adaptive stopping diverged: n %d/%d reason %q/%q budget %d/%d",
+					a, b, pe.Counted(), ps.Counted(), pe.StopReason, ps.StopReason,
+					pe.Budget, ps.Budget)
+			}
+		}
+	}
+}
+
+// TestSketchMergedShareSketch: the matrix-level merged sketch holds
+// every counted trial's two share samples.
+func TestSketchMergedShareSketch(t *testing.T) {
+	svcs := sketchTestServices()
+	net := netem.HighlyConstrained()
+	opts := fastOpts(net)
+	opts.SketchStats = true
+	m := &Matrix{Services: svcs, Net: net, Opts: opts}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := res.MergedShareSketch()
+	if merged == nil {
+		t.Fatal("sketch-mode matrix returned no merged sketch")
+	}
+	want := 0
+	for i, a := range res.Names {
+		for j := i; j < len(res.Names); j++ {
+			if p, _, ok := res.Cell(a, res.Names[j]); ok && !p.Failed {
+				want += 2 * p.Counted()
+			}
+		}
+	}
+	if merged.Count() != want {
+		t.Fatalf("merged sketch holds %d samples, want %d", merged.Count(), want)
+	}
+
+	// Exact mode has nothing to merge.
+	opts.SketchStats = false
+	m2 := &Matrix{Services: svcs, Net: net, Opts: opts}
+	res2, err := m2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MergedShareSketch() != nil {
+		t.Fatal("exact-mode matrix must return nil merged sketch")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"prudentia/internal/stats"
+)
+
+// Sketch-backed per-pair statistics (SchedulerOptions.SketchStats).
+// Instead of retaining every TrialResult on the outcome — O(trials)
+// state per pair, raw samples shipped over checkpoints and the fleet
+// wire — a pair carries one PairSketches: a fixed set of mergeable
+// quantile sketches (internal/stats) plus the summed deterministic
+// telemetry aggregate. State per pair is O(1) in the trial count.
+//
+// Up to stats.SketchBufferCap counted trials (far beyond any paper
+// budget) the sketches hold every sample exactly and answer with the
+// very same R-7 / order-statistic code the raw path uses, so a
+// sketch-backed run's verdict matrix, report, and stopping decisions
+// are byte-identical to the exact-sample path on the seed matrix.
+
+// PairSketches is the O(1) statistics state of one pair: a sketch per
+// reported metric, keyed by the same slot convention as TrialResult
+// (slot 0 incumbent, slot 1 contender), plus the summed TrialObs
+// aggregate that lets the coordinator reconstruct counter totals for
+// remotely executed pairs without per-trial data. It rides checkpoint
+// JSON and the fleet protocol via the sketches' base64 binary
+// encoding.
+type PairSketches struct {
+	// N counts the counted trials folded in (the sketch-mode
+	// counterpart of len(PairOutcome.Trials)).
+	N int `json:"n"`
+	// Mbps holds each slot's per-trial throughput distribution.
+	Mbps [2]*stats.Sketch `json:"mbps"`
+	// SharePct holds each slot's MmF-share distribution (the heatmap
+	// and adaptive-stopper statistic).
+	SharePct [2]*stats.Sketch `json:"share_pct"`
+	// Utilization holds the whole-link utilization distribution.
+	Utilization *stats.Sketch `json:"utilization"`
+	// Loss holds each slot's loss-rate distribution.
+	Loss [2]*stats.Sketch `json:"loss"`
+	// QueueDelaySec holds each slot's queueing-delay distribution, in
+	// seconds.
+	QueueDelaySec [2]*stats.Sketch `json:"queue_delay_sec"`
+	// SimSeconds holds the per-trial simulated-duration distribution
+	// (feeds the coordinator's trial-duration histogram for remote
+	// pairs).
+	SimSeconds *stats.Sketch `json:"sim_seconds"`
+	// Obs is the element-wise sum (max for the occupancy high water) of
+	// every counted trial's deterministic telemetry aggregate.
+	Obs TrialObs `json:"obs"`
+}
+
+// newPairSketches allocates the full sketch set for one pair.
+func newPairSketches() *PairSketches {
+	ps := &PairSketches{
+		Utilization: stats.NewSketch(),
+		SimSeconds:  stats.NewSketch(),
+	}
+	for s := 0; s < 2; s++ {
+		ps.Mbps[s] = stats.NewSketch()
+		ps.SharePct[s] = stats.NewSketch()
+		ps.Loss[s] = stats.NewSketch()
+		ps.QueueDelaySec[s] = stats.NewSketch()
+	}
+	return ps
+}
+
+// observe folds one counted trial into the sketch set — the sketch-mode
+// counterpart of appending to PairOutcome.Trials.
+func (ps *PairSketches) observe(res *TrialResult) {
+	ps.N++
+	for s := 0; s < 2; s++ {
+		ps.Mbps[s].Add(res.Mbps[s])
+		ps.SharePct[s].Add(res.SharePct[s])
+		ps.Loss[s].Add(res.Loss[s])
+		ps.QueueDelaySec[s].Add(res.QueueDelay[s].Seconds())
+	}
+	ps.Utilization.Add(res.Utilization)
+	ps.SimSeconds.Add(res.Obs.SimSeconds)
+	ps.foldObs(res.Obs)
+}
+
+// foldObs accumulates one trial's telemetry aggregate: every counter
+// field sums; the occupancy high water takes the max.
+func (ps *PairSketches) foldObs(o TrialObs) {
+	ps.Obs.ArrivedPackets += o.ArrivedPackets
+	ps.Obs.DroppedPackets += o.DroppedPackets
+	ps.Obs.DeliveredPackets += o.DeliveredPackets
+	ps.Obs.DeliveredBytes += o.DeliveredBytes
+	if o.OccupancyHighWater > ps.Obs.OccupancyHighWater {
+		ps.Obs.OccupancyHighWater = o.OccupancyHighWater
+	}
+	ps.Obs.UpstreamSent += o.UpstreamSent
+	ps.Obs.ExternalDrops += o.ExternalDrops
+	ps.Obs.ChaosDrops += o.ChaosDrops
+	ps.Obs.Retransmits += o.Retransmits
+	ps.Obs.Timeouts += o.Timeouts
+	ps.Obs.CwndEvents += o.CwndEvents
+	ps.Obs.TailProbes += o.TailProbes
+	ps.Obs.ChaosFlaps += o.ChaosFlaps
+	ps.Obs.ChaosSags += o.ChaosSags
+	ps.Obs.ChaosStalls += o.ChaosStalls
+	ps.Obs.SimSeconds += o.SimSeconds
+}
+
+// Merge folds other's sketches, counts, and telemetry aggregate into
+// ps. Like stats.Sketch.Merge it is commutative, associative, and
+// shard-split invariant, so per-pair sketches from any number of fleet
+// workers — or per-cell sketches from a sweep grid — combine into the
+// same aggregate regardless of who produced which shard. other is not
+// modified; a nil other is a no-op.
+func (ps *PairSketches) Merge(other *PairSketches) error {
+	if other == nil {
+		return nil
+	}
+	for s := 0; s < 2; s++ {
+		if err := ps.Mbps[s].Merge(other.Mbps[s]); err != nil {
+			return fmt.Errorf("core: merging mbps sketches: %w", err)
+		}
+		if err := ps.SharePct[s].Merge(other.SharePct[s]); err != nil {
+			return fmt.Errorf("core: merging share sketches: %w", err)
+		}
+		if err := ps.Loss[s].Merge(other.Loss[s]); err != nil {
+			return fmt.Errorf("core: merging loss sketches: %w", err)
+		}
+		if err := ps.QueueDelaySec[s].Merge(other.QueueDelaySec[s]); err != nil {
+			return fmt.Errorf("core: merging queue-delay sketches: %w", err)
+		}
+	}
+	if err := ps.Utilization.Merge(other.Utilization); err != nil {
+		return fmt.Errorf("core: merging utilization sketches: %w", err)
+	}
+	if err := ps.SimSeconds.Merge(other.SimSeconds); err != nil {
+		return fmt.Errorf("core: merging sim-seconds sketches: %w", err)
+	}
+	ps.N += other.N
+	// other.Obs is itself the summed aggregate of other's trials; sums
+	// of sums are sums, and the one max-semantics field
+	// (OccupancyHighWater) folds by max, matching foldObs.
+	ps.foldObs(other.Obs)
+	return nil
+}
+
+// MergedShareSketch merges every non-quarantined pair's two slot share
+// sketches into one distribution — the cycle-level "all counted shares"
+// aggregate the sweep harness reports. Returns nil when the matrix ran
+// in exact-sample mode (no sketches to merge).
+func (r *MatrixResult) MergedShareSketch() *stats.Sketch {
+	var agg *stats.Sketch
+	for i := range r.Names {
+		for j := i; j < len(r.Names); j++ {
+			p := r.Pairs[pairKey(i, j)]
+			if p == nil || p.Failed || p.Sketches == nil || p.Counted() == 0 {
+				continue
+			}
+			if agg == nil {
+				agg = stats.NewSketchAlpha(p.Sketches.SharePct[0].Alpha())
+			}
+			for s := 0; s < 2; s++ {
+				if err := agg.Merge(p.Sketches.SharePct[s]); err != nil {
+					return nil // mixed geometries: no meaningful aggregate
+				}
+			}
+		}
+	}
+	return agg
+}

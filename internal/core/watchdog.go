@@ -455,10 +455,11 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 func (w *Watchdog) SettingOptions(cycle, si int) SchedulerOptions {
 	opts := w.Opts
 	if opts.IsZero() {
-		wb, ad := opts.WallBudget, opts.Adaptive
+		wb, ad, sk := opts.WallBudget, opts.Adaptive, opts.SketchStats
 		opts = PaperOptions(w.Settings[si])
 		opts.WallBudget = wb
 		opts.Adaptive = ad
+		opts.SketchStats = sk
 	}
 	opts = opts.withDefaults()
 	// Seed-scope each cycle and setting so re-runs differ but stay
@@ -732,7 +733,7 @@ func CompareCycles(before, after *CycleResult, setting int, service, versus stri
 	}
 	b, bs, ok1 := before.PerSetting[setting].Cell(service, versus)
 	a, as, ok2 := after.PerSetting[setting].Cell(service, versus)
-	if !ok1 || !ok2 || len(b.Trials) == 0 || len(a.Trials) == 0 {
+	if !ok1 || !ok2 || b.Counted() == 0 || a.Counted() == 0 {
 		return rep, false
 	}
 	rep.BeforeMbps = b.MedianMbps(bs)
@@ -748,20 +749,32 @@ func CompareCycles(before, after *CycleResult, setting int, service, versus stri
 type InstabilityReport struct {
 	Incumbent, Contender string
 	Slot                 int
-	TrialMbps            []float64
-	IQR                  float64
-	Unstable             bool
+	// TrialMbps is the slot's per-trial throughput series. Raw-sample
+	// runs report it in trial order; sketch-backed runs report the
+	// retained samples in sorted order while the sketch is exact
+	// (every paper budget), and leave it empty once compacted — the
+	// IQR remains available in either case.
+	TrialMbps []float64
+	IQR       float64
+	Unstable  bool
 }
 
 // Instability extracts the Fig 10 scatter for one ordered pair.
 func (r *MatrixResult) Instability(incumbent, contender string) (InstabilityReport, bool) {
 	p, slot, ok := r.Cell(incumbent, contender)
-	if !ok || len(p.Trials) == 0 {
+	if !ok || p.Counted() == 0 {
 		return InstabilityReport{}, false
 	}
 	rep := InstabilityReport{
 		Incumbent: incumbent, Contender: contender, Slot: slot,
 		Unstable: p.Unstable,
+	}
+	if sk := p.Sketches; sk != nil {
+		if vs, exact := sk.Mbps[slot].Values(); exact {
+			rep.TrialMbps = vs
+		}
+		rep.IQR = sk.Mbps[slot].IQR()
+		return rep, true
 	}
 	rep.TrialMbps = p.mbps(slot)
 	rep.IQR = stats.IQR(rep.TrialMbps)

@@ -264,6 +264,6 @@ func (w *Worker) runTask(fc *frameConn, leaseID uint64, t core.PairTask) {
 	}
 	if werr := fc.write(&msg{Type: msgResult, Lease: leaseID, Outcome: payload, Events: events}, defaultWriteTimeout); werr == nil {
 		w.progress("fleet: pair %d|%d (cycle %d, setting %d) done: %d trials",
-			t.A, t.B, t.Cycle, t.Setting, len(outcome.Trials))
+			t.A, t.B, t.Cycle, t.Setting, outcome.Counted())
 	}
 }

@@ -36,7 +36,12 @@ type Manifest struct {
 	// budgets (omitted on fixed-budget runs so their manifests are
 	// unchanged byte for byte).
 	AdaptiveEnabled bool `json:"adaptive_enabled,omitempty"`
-	Interrupted     bool `json:"interrupted"`
+	// StatsMode records how per-pair statistics were accumulated:
+	// "sketch" when mergeable quantile sketches replaced the raw trial
+	// ledger, empty on exact-sample runs (so their manifests are
+	// unchanged byte for byte).
+	StatsMode   string `json:"stats_mode,omitempty"`
+	Interrupted bool   `json:"interrupted"`
 
 	// Breakers is the per-service circuit-breaker state at cycle end
 	// (empty when the supervision layer is disabled or all healthy

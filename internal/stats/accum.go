@@ -1,0 +1,63 @@
+package stats
+
+// Batched counter accumulation (the view-maintenance / "VSA" pattern
+// from ROADMAP item 3). The watchdog's hottest counters — the trial
+// ledger and the per-trial netem packet aggregates — are shared
+// atomics: under the worker pool every counted trial costs a dozen
+// atomic read-modify-writes on cache lines contended by every worker.
+// An Accum gives each owning goroutine a private bank of plain int64
+// delta cells; the hot path mutates those with ordinary arithmetic,
+// and a single Flush at a natural batch boundary (pair completion)
+// commits each cell's net delta to its shared sink in one synchronized
+// operation. Self-cancelling updates coalesce to nothing, and a batch
+// of N trials costs one committed add per counter instead of N.
+//
+// Because counter addition is commutative and Flush preserves exact
+// totals (it commits sums, never samples), batched totals are
+// identical to unbatched ones for any worker count and any flush
+// schedule — the same argument that already makes the registry's
+// counters deterministic under the pool.
+
+// Accum is a single-owner bank of batched counter cells. Register each
+// shared sink once with Cell, accumulate with Add, and commit with
+// Flush. The zero value is ready to use. An Accum is deliberately NOT
+// safe for concurrent use: its entire point is that the hot path runs
+// unsynchronized, so each Accum must be owned by one goroutine at a
+// time (ownership may transfer at a Flush boundary).
+type Accum struct {
+	deltas []int64
+	sinks  []func(int64)
+}
+
+// NewAccum returns an empty accumulator.
+func NewAccum() *Accum { return &Accum{} }
+
+// Cell registers a commit sink (typically a shared counter's Add
+// method) and returns the index of its delta cell.
+func (a *Accum) Cell(commit func(int64)) int {
+	a.sinks = append(a.sinks, commit)
+	a.deltas = append(a.deltas, 0)
+	return len(a.deltas) - 1
+}
+
+// Add accumulates d into cell i. No synchronization: this is the hot
+// path, a plain add on owner-local memory.
+func (a *Accum) Add(i int, d int64) { a.deltas[i] += d }
+
+// Inc accumulates 1 into cell i.
+func (a *Accum) Inc(i int) { a.deltas[i]++ }
+
+// Pending returns the uncommitted delta of cell i (for tests and
+// invariant checks).
+func (a *Accum) Pending(i int) int64 { return a.deltas[i] }
+
+// Flush commits every nonzero cell to its sink and zeroes the bank.
+// Cells whose updates cancelled out (or never happened) cost nothing.
+func (a *Accum) Flush() {
+	for i, d := range a.deltas {
+		if d != 0 {
+			a.sinks[i](d)
+			a.deltas[i] = 0
+		}
+	}
+}

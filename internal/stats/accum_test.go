@@ -1,0 +1,85 @@
+package stats
+
+import "testing"
+
+// TestAccumBatchesAndFlushes: deltas accumulate locally, nothing
+// reaches a sink before Flush, and Flush commits each cell exactly once
+// with the exact total.
+func TestAccumBatchesAndFlushes(t *testing.T) {
+	var got [2]int64
+	var commits int
+	a := NewAccum()
+	c0 := a.Cell(func(d int64) { got[0] += d; commits++ })
+	c1 := a.Cell(func(d int64) { got[1] += d; commits++ })
+
+	a.Add(c0, 5)
+	a.Inc(c0)
+	a.Add(c1, -3)
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatal("sinks saw deltas before Flush")
+	}
+	if a.Pending(c0) != 6 || a.Pending(c1) != -3 {
+		t.Fatalf("pending = %d, %d", a.Pending(c0), a.Pending(c1))
+	}
+
+	a.Flush()
+	if got[0] != 6 || got[1] != -3 {
+		t.Fatalf("flushed totals = %v", got)
+	}
+	if commits != 2 {
+		t.Fatalf("commits = %d, want one per dirty cell", commits)
+	}
+	if a.Pending(c0) != 0 || a.Pending(c1) != 0 {
+		t.Fatal("Flush must zero the cells")
+	}
+
+	// A second Flush with no new deltas must not re-commit.
+	a.Flush()
+	if got[0] != 6 || got[1] != -3 || commits != 2 {
+		t.Fatal("idle Flush re-committed")
+	}
+
+	// And the accumulator is reusable after flushing.
+	a.Add(c1, 10)
+	a.Flush()
+	if got[1] != 7 {
+		t.Fatalf("post-reuse total = %d, want 7", got[1])
+	}
+}
+
+// TestAccumZeroCellsSkipped: clean cells never invoke their sinks, so
+// batching per-trial counters costs zero sink calls for untouched
+// metrics.
+func TestAccumZeroCellsSkipped(t *testing.T) {
+	a := NewAccum()
+	calls := 0
+	idle := a.Cell(func(int64) { calls++ })
+	busy := a.Cell(func(int64) { calls++ })
+	a.Inc(busy)
+	a.Flush()
+	if calls != 1 {
+		t.Fatalf("sink calls = %d, want only the dirty cell", calls)
+	}
+	_ = idle
+}
+
+// TestAccumExactTotals: batch-commit order cannot change the totals —
+// sums are commutative — so any interleaving of Adds and Flushes lands
+// on the same final value the unbatched path would.
+func TestAccumExactTotals(t *testing.T) {
+	var total int64
+	a := NewAccum()
+	c := a.Cell(func(d int64) { total += d })
+	want := int64(0)
+	for i := int64(1); i <= 100; i++ {
+		a.Add(c, i)
+		want += i
+		if i%7 == 0 {
+			a.Flush()
+		}
+	}
+	a.Flush()
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}

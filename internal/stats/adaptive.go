@@ -11,6 +11,12 @@ package stats
 // keeps adaptive reports byte-identical across resume/replay and any
 // worker count.
 
+// DefaultFairSharePct is the paper's "roughly fair" verdict boundary:
+// a slot achieving at least this percentage of its max-min fair share
+// is considered fairly treated. Callers that leave
+// SequentialPolicy.FairSharePct zero default to it.
+const DefaultFairSharePct = 80.0
+
 // Stop reasons reported by SequentialPolicy.Evaluate. They label the
 // prudentia_adaptive_stops_total counter and PairOutcome.StopReason.
 const (
@@ -117,6 +123,74 @@ func (p SequentialPolicy) Evaluate(s0, s1 []float64) StopDecision {
 		return d
 	}
 	return d
+}
+
+// EvaluateSketch applies the same stopping rules as Evaluate to
+// sketch-backed share summaries instead of raw series. prior is the
+// ring of Fair verdicts recorded after each previous counted trial
+// (oldest first, latest last, at most StableK−1 entries kept by the
+// caller); because every verdict is a pure function of its prefix,
+// checking the recorded ring is equivalent to Evaluate's prefix
+// recomputation — the ring simply remembers what the recomputation
+// would recompute. In the sketch's exact regime (n ≤ SketchBufferCap,
+// which covers every real trial budget) the decision is bit-identical
+// to Evaluate on the raw series.
+func (p SequentialPolicy) EvaluateSketch(s0, s1 *Sketch, prior []bool) StopDecision {
+	n := s0.Count()
+	d := StopDecision{Fair: s0.Median() >= p.FairSharePct && s1.Median() >= p.FairSharePct}
+	if w := sketchCIWidth(s1); w > d.CIWidth {
+		d.CIWidth = w
+	}
+	if w := sketchCIWidth(s0); w > d.CIWidth {
+		d.CIWidth = w
+	}
+	if n == 0 {
+		return d
+	}
+	min := p.MinTrials
+	if p.MaxTrials > 0 && min > p.MaxTrials {
+		min = p.MaxTrials
+	}
+	if n < min {
+		return d
+	}
+	if p.MaxCIWidth > 0 && d.CIWidth <= p.MaxCIWidth {
+		d.Stop, d.Reason = true, StopCIWidth
+		return d
+	}
+	if p.StableK > 0 && n >= p.StableK && ringStable(prior, d.Fair, p.StableK) {
+		d.Stop, d.Reason = true, StopStable
+		return d
+	}
+	if p.MaxTrials > 0 && n >= p.MaxTrials {
+		d.Stop, d.Reason = true, StopBudget
+		return d
+	}
+	return d
+}
+
+// sketchCIWidth mirrors CIWidth for a sketch: MedianCI width, with the
+// same n<3 degradation to the sample range and 0 for empty input.
+func sketchCIWidth(s *Sketch) float64 {
+	if s.Count() == 0 {
+		return 0
+	}
+	lo, hi := s.MedianCI()
+	return hi - lo
+}
+
+// ringStable reports whether the last stableK−1 recorded verdicts all
+// match the current one — the ring counterpart of verdictStable.
+func ringStable(prior []bool, want bool, stableK int) bool {
+	if len(prior) < stableK-1 {
+		return false
+	}
+	for _, v := range prior[len(prior)-(stableK-1):] {
+		if v != want {
+			return false
+		}
+	}
+	return true
 }
 
 // verdictStable reports whether the fair/unfair verdict was identical

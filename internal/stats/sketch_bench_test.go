@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// benchSamples returns n deterministic heavy-tailed samples: log-uniform
+// magnitudes spanning [0.01, 100] (four decades — far wider than any real
+// share/loss/throughput stream), a zero every 13th sample, a negative
+// every 7th. The LCG keeps the stream byte-stable across runs and Go
+// versions, so the state-size benchmark below measures the same multiset
+// every time.
+func benchSamples(n int) []float64 {
+	out := make([]float64, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	lo, hi := math.Log(0.01), math.Log(100)
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		u := float64(state>>11) / float64(1<<53)
+		v := math.Exp(lo + u*(hi-lo))
+		switch {
+		case i%13 == 0:
+			v = 0
+		case i%7 == 0:
+			v = -v
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// BenchmarkSketchAdd measures the compacted-regime Add hot path — the
+// operation a million-trial run executes once per metric per trial. The
+// warmup folds the full value set first so the timed loop only ever
+// touches existing buckets; scripts/bench.sh stats gates allocs/op at
+// zero, pinning the steady-state hot path allocation-free.
+func BenchmarkSketchAdd(b *testing.B) {
+	vals := benchSamples(4096)
+	s := NewSketch()
+	for _, v := range vals {
+		s.Add(v)
+	}
+	if s.Exact() {
+		b.Fatal("warmup did not reach the compacted regime")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(vals[i%len(vals)])
+	}
+}
+
+// BenchmarkSketchState reports the encoded state size of one sketch
+// after 5k and 50k trials as state_bytes. A pair's statistics state is a
+// fixed set of these sketches (core.PairSketches), so bounded bytes per
+// sketch at 10x the trial count is the O(1)-state proof scripts/bench.sh
+// stats gates on: the 10x/1x ratio must stay near 1, where the raw
+// per-trial ledger would grow by exactly 10x.
+func BenchmarkSketchState(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{{"1x", 5000}, {"10x", 50000}} {
+		b.Run("trials="+tc.name, func(b *testing.B) {
+			vals := benchSamples(tc.n)
+			var sz int
+			for i := 0; i < b.N; i++ {
+				s := NewSketch()
+				for _, v := range vals {
+					s.Add(v)
+				}
+				sz = len(s.Encode())
+			}
+			b.ReportMetric(float64(sz), "state_bytes")
+		})
+	}
+}

@@ -131,7 +131,7 @@ func Run(e Experiment) (Result, error) {
 	res := Result{
 		Incumbent: e.Incumbent,
 		Contender: e.Contender,
-		Trials:    len(out.Trials),
+		Trials:    out.Counted(),
 		Unstable:  out.Unstable,
 		Failed:    out.Failed,
 	}

@@ -26,6 +26,16 @@
 #                                  Fails if the saving is under the 30% acceptance
 #                                  floor.
 #
+#   scripts/bench.sh stats [benchtime]
+#                                  sketch statistics gate (BenchmarkSketchAdd,
+#                                  BenchmarkSketchState) -> BENCH_stats.json.
+#                                  Fails if the compacted-regime Add hot path
+#                                  allocates at all, or if per-sketch encoded
+#                                  state grows more than 1.25x when the trial
+#                                  count grows 10x (the O(1) per-pair statistics
+#                                  memory acceptance gate; the raw ledger would
+#                                  grow 10x).
+#
 # Speedup in parallel mode is hardware-dependent: the matrix fans pairs out
 # across OS threads, so gains cap at min(workers, GOMAXPROCS, CPUs). On a
 # 1-CPU host every worker count measures the same serial throughput plus
@@ -306,12 +316,88 @@ adaptive_mode() {
     echo "bench-adaptive: OK (adaptive saves ${saved}% of fixed trials)"
 }
 
+# stats_mode reduces the sketch statistics benchmarks into
+# BENCH_stats.json and enforces the two million-trial acceptance gates:
+# the compacted-regime Add hot path must be allocation-free (allocs/op
+# exactly 0), and one sketch's encoded state must stay bounded when the
+# trial count grows 10x (ratio <= 1.25 vs 10x for the raw per-trial
+# ledger). Both gates are deterministic — allocation counts and encoded
+# bytes don't wobble with runner noise — so no tolerance knob exists.
+#
+# CI hook: BENCH_STATS_OUT overrides the output path (the workflow
+# writes into its artifact dir so the gate never dirties the committed
+# BENCH_stats.json).
+stats_mode() {
+    local benchtime="${1:-1s}"
+    local out="${BENCH_STATS_OUT:-BENCH_stats.json}"
+    RAWTMP="$(mktemp)"
+    trap 'rm -f "$RAWTMP"' EXIT
+    local raw="$RAWTMP"
+
+    go test ./internal/stats -run '^$' -bench '^BenchmarkSketch(Add|State)$' \
+        -benchmem -benchtime "$benchtime" -count=1 | tee "$raw"
+
+    awk -v benchtime="$benchtime" '
+    /^BenchmarkSketchAdd/ {
+        add_ns = $3 + 0
+        for (i = 4; i < NF; i++) if ($(i+1) == "allocs/op") add_allocs = $i + 0
+        seen_add = 1
+    }
+    /^BenchmarkSketchState\/trials=/ {
+        split($1, parts, "=")
+        tier = parts[2]
+        sub(/-[0-9]+$/, "", tier)
+        for (i = 3; i < NF; i++) if ($(i+1) == "state_bytes") bytes[tier] = $i + 0
+        seen_state++
+    }
+    END {
+        if (!seen_add || seen_state < 2 || !("1x" in bytes) || !("10x" in bytes)) {
+            print "bench-stats: missing SketchAdd or SketchState sub-benchmark in output" > "/dev/stderr"
+            exit 1
+        }
+        ratio = (bytes["1x"] > 0) ? bytes["10x"] / bytes["1x"] : 0
+        printf "{\n"
+        printf "  \"benchmark\": \"BenchmarkSketchAdd + BenchmarkSketchState\",\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"add\": {\"ns_per_op\": %.2f, \"allocs_per_op\": %d},\n", add_ns, add_allocs
+        printf "  \"state_bytes_1x\": %d,\n", bytes["1x"]
+        printf "  \"state_bytes_10x\": %d,\n", bytes["10x"]
+        printf "  \"state_growth_ratio\": %.3f,\n", ratio
+        printf "  \"note\": \"per-pair statistics state is a fixed set of these sketches (core.PairSketches); the raw per-trial ledger grows 10.000x on the same stream\"\n"
+        printf "}\n"
+    }' "$raw" > "$out"
+
+    echo
+    echo "wrote $out:"
+    cat "$out"
+
+    local allocs ratio
+    allocs="$(awk -F'[:,]' '/"allocs_per_op"/ { print $5 + 0 }' "$out")"
+    ratio="$(awk -F'[:,]' '/"state_growth_ratio"/ { print $2 + 0 }' "$out")"
+    if [ -z "$allocs" ] || [ -z "$ratio" ]; then
+        echo "bench-stats: FAILED — could not reduce benchmark output (see above)" >&2
+        exit 1
+    fi
+    if [ "$allocs" != "0" ]; then
+        echo "bench-stats: FAILED — compacted-regime Add allocates ($allocs allocs/op, gate: 0)" >&2
+        exit 1
+    fi
+    if ! awk -v r="$ratio" 'BEGIN { exit !(r > 0 && r <= 1.25) }'; then
+        echo "bench-stats: FAILED — sketch state grew ${ratio}x at 10x trials (gate: <= 1.25x; O(1) memory violated)" >&2
+        exit 1
+    fi
+    echo "bench-stats: OK (Add is allocation-free; 10x trials grew state only ${ratio}x)"
+}
+
 case "${1:-}" in
 sim)
     sim_mode "${2:-1s}"
     ;;
 adaptive)
     adaptive_mode "${2:-3x}"
+    ;;
+stats)
+    stats_mode "${2:-1s}"
     ;;
 -check)
     check_mode

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, vet, static analysis, doc-comment gate,
-# the focused parallel-engine race gate, the full test suite under the
-# race detector, the hot-path benchmark regression gate, and a seeded
-# end-to-end acceptance run whose observability artifacts are kept for
-# upload.
+# the internal/stats coverage floor, the focused parallel-engine race
+# gate, the full test suite under the race detector, the hot-path
+# benchmark regression gate, the sketch statistics O(1)-memory gate, a
+# seeded end-to-end acceptance run whose observability artifacts are
+# kept for upload, a 2x2 sweep-grid smoke asserting the TSV schema, and
+# the adaptive and exact-stats escape-hatch byte-identity gates.
 #
 #   scripts/ci.sh          full budget (local pre-merge gate)
 #   scripts/ci.sh -short   reduced budget for CI runners: -short tests,
@@ -229,6 +231,19 @@ for pkg in internal/stats internal/fleet internal/journal; do
 done
 [ "$missing" -eq 0 ] || { echo "ci: exported-symbol doc gate failed" >&2; exit 1; }
 
+# Statistics coverage floor: internal/stats carries the quantile sketch
+# codec and the sequential stopper that every other layer's byte
+# identity leans on, so its test coverage may not erode below 85% of
+# statements (89.8% when the floor was set).
+STATS_COV="$(go test -count=1 -cover ./internal/stats | awk '
+    { for (i = 1; i < NF; i++) if ($i == "coverage:") { sub(/%/, "", $(i+1)); print $(i+1) } }')"
+[ -n "$STATS_COV" ] || { echo "ci: could not measure internal/stats coverage" >&2; exit 1; }
+if ! awk -v c="$STATS_COV" 'BEGIN { exit !(c >= 85) }'; then
+    echo "ci: internal/stats coverage ${STATS_COV}% fell below the 85% floor" >&2
+    exit 1
+fi
+echo "ci: internal/stats coverage ${STATS_COV}% (floor 85%)"
+
 # Focused race gate for the parallel matrix engine: the determinism and
 # interrupt/resume tests double as the data-race probes for the worker
 # pool, ordered merge, and shared fault ledger.
@@ -269,6 +284,14 @@ if ! BENCH_CHECK_RAW_OUT="$PWD/$ARTIFACTS/BENCH_sim.candidate.txt" scripts/bench
 fi
 rm -f "$ARTIFACTS/BENCH_sim.candidate.txt"
 
+# Sketch statistics gate: the compacted-regime Add hot path must stay
+# allocation-free and one sketch's encoded state must stay bounded when
+# the trial count grows 10x. Both measurements are deterministic (no
+# ns/op involved), so unlike the bench gate above there is no
+# runner-noise tolerance. The fresh reduction lands in the artifact dir
+# rather than dirtying the committed BENCH_stats.json.
+BENCH_STATS_OUT="$PWD/$ARTIFACTS/BENCH_stats.json" scripts/bench.sh stats
+
 # Seeded end-to-end acceptance run: one quick cycle of the real binary
 # with the full observability surface enabled. The artifacts (metrics,
 # timeline, manifest) are kept for upload; the reconciliation logic
@@ -285,6 +308,31 @@ for f in metrics.prom timeline.jsonl manifest.json; do
 done
 echo "ci: acceptance artifacts in $ARTIFACTS/"
 
+# Sweep smoke: a 2x2 grid (2 rates x 2 RTTs, one queue depth, two CCAs)
+# through the real -sweep driver via its scripts/sweep.sh wrapper. The
+# TSV header is the sweep pipeline's public schema — sweep.go documents
+# that it may only be extended together with this assertion — and the
+# row count pins the grid shape: 4 cells x 3 pairs x 2 slots.
+SWEEP_RATES="8,50" SWEEP_RTTS="25,50" SWEEP_QUEUES="64" \
+    SWEEP_CCAS="iPerf (Cubic),iPerf (BBR)" \
+    SWEEP_OUT="$ARTIFACTS/sweep-smoke" SWEEP_SEED=42 \
+    scripts/sweep.sh -workers 4
+SWEEP_HEADER="$(printf 'rate_mbps\trtt_ms\tqueue_pkts\tincumbent\tcontender\tslot\tservice\tn\tmedian_share_pct\tiqr_share_pct\tci_lo_pct\tci_hi_pct\tverdict')"
+if [ "$(head -n1 "$ARTIFACTS/sweep-smoke.tsv")" != "$SWEEP_HEADER" ]; then
+    echo "ci: sweep TSV header diverged from the documented schema" >&2
+    exit 1
+fi
+SWEEP_ROWS=$(($(wc -l < "$ARTIFACTS/sweep-smoke.tsv") - 1))
+[ "$SWEEP_ROWS" -eq 24 ] || {
+    echo "ci: sweep smoke produced $SWEEP_ROWS rows, want 24 (4 cells x 3 pairs x 2 slots)" >&2
+    exit 1
+}
+grep -q '"schema": "prudentia.sweep/1"' "$ARTIFACTS/sweep-smoke.json" || {
+    echo "ci: sweep JSON missing the prudentia.sweep/1 schema marker" >&2
+    exit 1
+}
+echo "ci: sweep smoke passed (TSV schema + 24 rows + JSON schema marker)"
+
 # Adaptive escape-hatch gate: -adaptive -fixed-trials must disarm the
 # adaptive subsystem completely — its report is byte-compared against
 # the plain serial run above's golden output. Any divergence means the
@@ -300,5 +348,20 @@ if ! diff -u "$ARTIFACTS/report-serial.txt" "$ARTIFACTS/report-fixed-trials.txt"
     echo "ci: -adaptive -fixed-trials report diverged from the plain serial run" >&2
     exit 1
 fi
-rm -f "$ARTIFACTS/report-serial.txt" "$ARTIFACTS/report-fixed-trials.txt"
 echo "ci: adaptive escape hatch byte-identical to serial report"
+
+# Statistics escape-hatch gate: the default run above is sketch-backed;
+# -exact-stats retains the raw per-trial ledger instead. The two reports
+# must be byte-identical — any divergence means the sketches left their
+# exact regime at standard trial budgets, or a report accessor stopped
+# reading the sketch and exact paths through the same arithmetic.
+go run ./cmd/prudentia -cycles 1 -setting high -workers 4 -seed 42 \
+    -services "iPerf (Cubic),iPerf (BBR)" \
+    -exact-stats \
+    > "$ARTIFACTS/report-exact-stats.txt"
+if ! diff -u "$ARTIFACTS/report-serial.txt" "$ARTIFACTS/report-exact-stats.txt"; then
+    echo "ci: -exact-stats report diverged from the default sketch-backed run" >&2
+    exit 1
+fi
+rm -f "$ARTIFACTS/report-serial.txt" "$ARTIFACTS/report-fixed-trials.txt" "$ARTIFACTS/report-exact-stats.txt"
+echo "ci: statistics escape hatch byte-identical to sketch-backed report"
