@@ -69,6 +69,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"prudentia/internal/chaos"
 	"prudentia/internal/core"
@@ -76,7 +77,6 @@ import (
 	"prudentia/internal/obs"
 	"prudentia/internal/report"
 	"prudentia/internal/services"
-	"prudentia/internal/stats"
 	"prudentia/internal/trace"
 )
 
@@ -118,6 +118,16 @@ func main() {
 		sweepQueues = flag.String("sweep-queues", "64,256", "sweep: comma-separated drop-tail queue capacities in packets")
 		sweepCCAs   = flag.String("sweep-ccas", "iPerf (Cubic),iPerf (BBR),iPerf (Reno)", "sweep: comma-separated catalog service names forming the pair matrix at each grid point")
 		sweepOut    = flag.String("sweep-out", "sweep", "sweep: output path prefix (writes <prefix>.tsv and <prefix>.json)")
+
+		// Serve mode: long-running daemon — campaign scheduler plus a
+		// read-optimized HTTP API over each completed cycle's artifacts
+		// (internal/serve; see README "Serving").
+		serveMode  = flag.Bool("serve", false, "daemon mode: run continuous cycles and serve reports/heatmaps/metrics over HTTP (-serve-addr); -cycles bounds the campaign (0 = forever)")
+		serveAddr  = flag.String("serve-addr", "127.0.0.1:9080", "serve: listen address (use :0 for an ephemeral port with -serve-addr-file)")
+		serveFile  = flag.String("serve-addr-file", "", "serve: write the bound address to this file once listening")
+		cycleEvery = flag.Duration("cycle-interval", 10*time.Minute, "serve: pause between cycle starts (jittered per cycle; <0 = none)")
+		history    = flag.Int("history", 8, "serve: completed cycles kept addressable via ?cycle=N")
+		subsMax    = flag.Int("submissions-max", 64, "serve: cap on queued POST /api/v1/submissions across all tenants")
 
 		// Fleet mode: one coordinator shards the pair matrix over N
 		// worker processes (prudentia.fleet/1 over TCP); the merged
@@ -246,7 +256,9 @@ func main() {
 	if manifestPath == "" && *timeline != "" {
 		manifestPath = filepath.Join(filepath.Dir(*timeline), "manifest.json")
 	}
-	if *metricsOut != "" || *timeline != "" || manifestPath != "" {
+	if *metricsOut != "" || *timeline != "" || manifestPath != "" || *serveMode {
+		// The daemon always carries a registry: /metrics is part of its
+		// API surface.
 		reg = obs.NewRegistry()
 	}
 	if *timeline != "" {
@@ -297,11 +309,13 @@ func main() {
 	// next trial boundary (the checkpoint is flushed after every pair, so
 	// nothing completed is lost); a second signal kills immediately.
 	var stop atomic.Bool
+	stopped := make(chan struct{})
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigc
 		stop.Store(true)
+		close(stopped)
 		fmt.Fprintln(os.Stderr, "prudentia: stopping at next trial boundary (signal again to kill)")
 		<-sigc
 		os.Exit(1)
@@ -354,6 +368,26 @@ func main() {
 		defer stopFleet()
 	}
 
+	// Serve mode: hand the fully configured engine (checkpoint, journal,
+	// chaos, fleet coordinator — all compose) to the daemon and block
+	// until a signal drains it. Placed after the coordinator block so
+	// `-serve -coordinator` serves fleet-backed cycles.
+	if *serveMode {
+		err := runServe(w, ledger, reg, serveOptions{
+			addr:           *serveAddr,
+			addrFile:       *serveFile,
+			cycleInterval:  *cycleEvery,
+			history:        *history,
+			submissionsMax: *subsMax,
+			maxCycles:      *cycles,
+		}, stopped, exportObs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prudentia: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	for cycle := 1; *cycles == 0 || cycle <= *cycles; cycle++ {
 		fmt.Printf("=== cycle %d (catalog: %d services) ===\n", cycle, len(w.Services))
 		stopProfiles, perr := startProfiles(*pprofDir, cycle)
@@ -378,9 +412,7 @@ func main() {
 		}
 		exportObs(cr)
 		for si, res := range cr.PerSetting {
-			cfg := w.Settings[si]
-			label := fmt.Sprintf("%.0f Mbps", float64(cfg.RateBps)/1e6)
-			printCycle(res, cr, si, cfg, label, w.Services)
+			printCycle(res, cr, si, w.Settings[si], w.Services)
 		}
 		if s := ledger.Summary(); s != "" {
 			fmt.Printf("fault ledger: %s\n\n", s)
@@ -466,53 +498,10 @@ func startProfiles(dir string, cycle int) (func(), error) {
 	}, nil
 }
 
-func printCycle(res *core.MatrixResult, cr *core.CycleResult, si int, cfg netem.Config, label string, svcs []services.Service) {
-	fmt.Println(report.Heatmap(
-		fmt.Sprintf("MmF share %% (incumbent = column) — %s", label),
-		res.Names,
-		func(inc, cont string) (float64, bool) { return res.SharePct(inc, cont) },
-		".0f"))
-	fmt.Println(report.Heatmap(
-		fmt.Sprintf("link utilization %% — %s", label),
-		res.Names,
-		func(inc, cont string) (float64, bool) {
-			v, ok := res.Utilization(inc, cont)
-			return 100 * v, ok
-		},
-		".0f"))
-	fmt.Println(report.Heatmap(
-		fmt.Sprintf("loss rate %% — %s", label),
-		res.Names,
-		func(inc, cont string) (float64, bool) {
-			v, ok := res.LossRate(inc, cont)
-			return 100 * v, ok
-		},
-		".1f"))
-	fmt.Println(report.Heatmap(
-		fmt.Sprintf("mean queueing delay ms — %s", label),
-		res.Names,
-		func(inc, cont string) (float64, bool) { return res.QueueDelayMs(inc, cont) },
-		".0f"))
-
-	losing := res.LosingShares()
-	fmt.Printf("summary (%s): losing services median %.0f%% of MmF share; self-pairs mean %.0f%%\n",
-		label, stats.Median(losing), stats.Mean(res.SelfShares()))
-	if throttled := cr.ThrottledServices(si, cfg, svcs, 0.5); len(throttled) > 0 {
-		fmt.Printf("throttle watch: %v achieved <50%% of the link solo\n", throttled)
-	}
-	var unstable []string
-	for _, a := range res.Names {
-		for _, b := range res.Names {
-			if p, _, ok := res.Cell(a, b); ok && p.Unstable && a <= b {
-				unstable = append(unstable, a+" vs "+b)
-			}
-		}
-	}
-	if len(unstable) > 0 {
-		fmt.Printf("instability watch (Obs 15): %v\n", unstable)
-	}
-	if failed := res.FailedPairs(); len(failed) > 0 {
-		fmt.Printf("quarantine watch: %v failed repeatedly and were excluded (××)\n", failed)
-	}
-	fmt.Println()
+// printCycle renders one setting's text block through the shared
+// byte-stable renderer (internal/report), which the serving daemon's
+// /api/v1/report.txt serves verbatim — the CI serve gate byte-compares
+// the two, so this must never grow a private rendering path.
+func printCycle(res *core.MatrixResult, cr *core.CycleResult, si int, cfg netem.Config, svcs []services.Service) {
+	fmt.Print(report.CycleText(res, cr, si, cfg, svcs))
 }

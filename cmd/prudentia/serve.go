@@ -1,0 +1,77 @@
+package main
+
+// Serve-mode wiring: translate CLI flags into a serve.Server over the
+// configured watchdog and run it until the signal handler asks for a
+// graceful stop. The daemon mirrors each completed cycle's batch report
+// to stdout through the same renderer its /api/v1/report.txt serves, so
+// daemon logs and daemon responses are byte-interchangeable with a
+// batch run at the same seed.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"prudentia/internal/core"
+	"prudentia/internal/obs"
+	"prudentia/internal/report"
+	"prudentia/internal/serve"
+	"prudentia/internal/trace"
+)
+
+// serveOptions is the flag bundle for -serve.
+type serveOptions struct {
+	addr           string
+	addrFile       string
+	cycleInterval  time.Duration
+	history        int
+	submissionsMax int
+	maxCycles      int
+}
+
+// runServe boots the daemon and blocks until stopped closes (first
+// SIGINT/SIGTERM) and the HTTP server drains, or a cycle fails.
+func runServe(w *core.Watchdog, ledger *trace.FaultLedger, reg *obs.Registry,
+	opts serveOptions, stopped <-chan struct{}, exportObs func(*core.CycleResult)) error {
+	s, err := serve.New(serve.Config{
+		Source:         w,
+		Ledger:         ledger,
+		Registry:       reg,
+		CycleInterval:  opts.cycleInterval,
+		History:        opts.history,
+		SubmissionsMax: opts.submissionsMax,
+		MaxCycles:      opts.maxCycles,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+		OnCycle: func(cr *core.CycleResult) {
+			exportObs(cr)
+			// Mirror the batch report to stdout, bytes for bytes.
+			fmt.Print(report.ReportText(cr, w.Settings, w.Services, ledger.Summary()))
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	if opts.addrFile != "" {
+		if err := os.WriteFile(opts.addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("serve-addr-file: %w", err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-stopped
+		cancel()
+	}()
+	return s.Run(ctx, ln)
+}

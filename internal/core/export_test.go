@@ -1,0 +1,10 @@
+package core
+
+// Bridges for external (package core_test) tests, which exist so tests
+// may import packages that themselves import core (e.g. internal/report)
+// without creating an in-package import cycle.
+var (
+	FastOptsForTest      = fastOpts
+	HotChaosForTest      = hotChaos
+	ThreeServicesForTest = threeServices
+)

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -12,86 +11,11 @@ import (
 
 	"prudentia/internal/chaos"
 	"prudentia/internal/netem"
-	"prudentia/internal/report"
 )
 
-// matrixCapture is everything observable about one matrix run: the
-// result, the fault-ledger stream, the OnPair release sequence, the
-// progress lines, and a rendered heatmap. The parallel engine promises
-// all of it is byte-identical for any worker count.
-type matrixCapture struct {
-	res      []byte
-	events   []byte
-	pairSeq  []string
-	progress []string
-	heatmap  string
-}
-
-func runMatrixWorkers(t *testing.T, workers int) matrixCapture {
-	t.Helper()
-	opts := fastOpts(netem.HighlyConstrained())
-	opts.BaseSeed = 42
-	opts.Chaos = hotChaos()
-	var events []FaultEvent
-	var c matrixCapture
-	m := &Matrix{
-		Services: threeServices(),
-		Net:      netem.HighlyConstrained(),
-		Opts:     opts,
-		Workers:  workers,
-		OnFault:  func(ev FaultEvent) { events = append(events, ev) },
-		OnPair:   func(key string, out *PairOutcome) { c.pairSeq = append(c.pairSeq, key) },
-		Progress: func(format string, args ...any) {
-			c.progress = append(c.progress, fmt.Sprintf(format, args...))
-		},
-	}
-	res, err := m.Run()
-	if err != nil {
-		t.Fatal(err)
-	}
-	var merr error
-	c.res, merr = json.Marshal(res)
-	if merr != nil {
-		t.Fatal(merr)
-	}
-	c.events, merr = json.Marshal(events)
-	if merr != nil {
-		t.Fatal(merr)
-	}
-	c.heatmap = report.Heatmap("MmF share %", res.Names,
-		func(inc, cont string) (float64, bool) { return res.SharePct(inc, cont) }, ".1f")
-	return c
-}
-
-// TestMatrixParallelDeterminism is the tentpole acceptance criterion:
-// the same chaos-enabled matrix run with 1, 2, 3, and 8 workers must
-// produce byte-identical results, fault ledgers, OnPair sequences,
-// progress output, and rendered heatmaps. Run under -race via
-// scripts/ci.sh this also proves the concurrent paths share no state.
-func TestMatrixParallelDeterminism(t *testing.T) {
-	base := runMatrixWorkers(t, 1)
-	if len(base.pairSeq) != 6 {
-		t.Fatalf("serial run released %d pairs, want 6", len(base.pairSeq))
-	}
-	for _, nw := range []int{2, 3, 8} {
-		got := runMatrixWorkers(t, nw)
-		if !bytes.Equal(base.res, got.res) {
-			t.Errorf("workers=%d: MatrixResult differs from serial:\n%s\nvs\n%s", nw, base.res, got.res)
-		}
-		if !bytes.Equal(base.events, got.events) {
-			t.Errorf("workers=%d: fault ledger differs from serial:\n%s\nvs\n%s", nw, base.events, got.events)
-		}
-		if fmt.Sprint(base.pairSeq) != fmt.Sprint(got.pairSeq) {
-			t.Errorf("workers=%d: OnPair sequence %v, want canonical %v", nw, got.pairSeq, base.pairSeq)
-		}
-		if fmt.Sprint(base.progress) != fmt.Sprint(got.progress) {
-			t.Errorf("workers=%d: progress lines differ:\n%v\nvs\n%v", nw, got.progress, base.progress)
-		}
-		if base.heatmap != got.heatmap {
-			t.Errorf("workers=%d: rendered heatmap differs:\n%s\nvs\n%s", nw, got.heatmap, base.heatmap)
-		}
-	}
-}
+// TestMatrixParallelDeterminism lives in parallel_determinism_test.go
+// (package core_test) so it can render heatmaps through internal/report,
+// which imports core.
 
 // TestWatchdogCheckpointDeterminismAcrossWorkers asserts the stronger
 // cycle-level property: not only the final CycleResult but every

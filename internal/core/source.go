@@ -1,0 +1,45 @@
+package core
+
+import (
+	"prudentia/internal/netem"
+	"prudentia/internal/services"
+)
+
+// CycleSource is the engine-as-a-library seam the serving layer
+// (internal/serve) consumes: everything a long-running daemon needs to
+// drive measurement cycles and render their artifacts, without knowing
+// it is talking to a *Watchdog — and, crucially, without internal/serve
+// ever importing cmd/prudentia. The daemon owns scheduling (when cycles
+// run, how submissions queue); the source owns measurement (how a cycle
+// executes, checkpoints, journals, and trips breakers).
+//
+// Implementations are driven from a single scheduler goroutine; none of
+// the methods need to be safe for concurrent use with each other.
+type CycleSource interface {
+	// RunCycle executes one full all-pairs cycle and returns its result.
+	// ErrInterrupted means a graceful stop was requested and completed
+	// state has been flushed (the daemon exits its campaign loop).
+	RunCycle() (*CycleResult, error)
+	// SettingConfigs returns the network settings cycles iterate, index-
+	// aligned with CycleResult.PerSetting.
+	SettingConfigs() []netem.Config
+	// Catalog returns the services currently under test, in matrix
+	// order.
+	Catalog() []services.Service
+	// Submit queues a third-party URL for future cycles, gated by an
+	// access code (Appendix A). The daemon's submission endpoint applies
+	// accepted tenant submissions through here at cycle boundaries.
+	Submit(url, accessCode string) error
+}
+
+// SettingConfigs returns the watchdog's network settings, index-aligned
+// with every CycleResult.PerSetting it produces (CycleSource).
+func (w *Watchdog) SettingConfigs() []netem.Config { return w.Settings }
+
+// Catalog returns the watchdog's current service catalog in matrix
+// order (CycleSource).
+func (w *Watchdog) Catalog() []services.Service { return w.Services }
+
+// Watchdog implements CycleSource (RunCycle and Submit are defined in
+// watchdog.go); the assertion keeps the seam honest at compile time.
+var _ CycleSource = (*Watchdog)(nil)

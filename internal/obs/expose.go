@@ -83,6 +83,33 @@ func baseName(name string) string {
 	return name
 }
 
+// splitName separates a metric name into its base and the inner label
+// list ("" when unlabeled): `h{route="x"}` → `h`, `route="x"`.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// histSample renders one histogram sample name: the suffix goes on the
+// base name and extra labels merge with any the metric already carries,
+// so labeled histograms expose `base_bucket{route="x",le="1"}` rather
+// than the malformed `base{route="x"}_bucket{le="1"}`.
+func histSample(name, suffix, extraLabel string) string {
+	base, labels := splitName(name)
+	switch {
+	case labels == "" && extraLabel == "":
+		return base + suffix
+	case labels == "":
+		return base + suffix + "{" + extraLabel + "}"
+	case extraLabel == "":
+		return base + suffix + "{" + labels + "}"
+	}
+	return base + suffix + "{" + labels + "," + extraLabel + "}"
+}
+
 // WritePrometheus emits the snapshot in the Prometheus text exposition
 // format (version 0.0.4), with metric families in sorted order. Names
 // may carry a literal {label="value"} suffix, emitted verbatim; TYPE
@@ -126,11 +153,14 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			if i < len(h.Bounds) {
 				le = fmtFloat(h.Bounds[i])
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			sample := histSample(name, "_bucket", fmt.Sprintf("le=%q", le))
+			if _, err := fmt.Fprintf(w, "%s %d\n", sample, cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, fmtFloat(h.Sum), name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+			histSample(name, "_sum", ""), fmtFloat(h.Sum),
+			histSample(name, "_count", ""), h.Count); err != nil {
 			return err
 		}
 	}

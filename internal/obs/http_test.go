@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// scrape performs one GET against the metrics handler and returns the
+// response for inspection.
+func scrape(t *testing.T, h http.Handler) (*http.Response, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestMetricsHandlerExposition is the satellite acceptance test: a real
+// HTTP round-trip through MetricsHandler must carry the Prometheus text
+// content type, expose counters monotonically across two scrapes, and
+// emit families in deterministic sorted order.
+func TestMetricsHandlerExposition(t *testing.T) {
+	reg := NewRegistry()
+	ri := HTTPRoute(reg, "report")
+	ri.Requests.Add(3)
+	ri.CacheHits.Add(2)
+	ri.NotModified.Inc()
+	ri.WallLatency.Observe(0.002)
+	reg.Gauge("prudentia_serve_ready").Set(1)
+
+	h := MetricsHandler(reg)
+
+	resp, body := scrape(t, h)
+	if got := resp.Header.Get("Content-Type"); got != prometheusContentType {
+		t.Errorf("Content-Type = %q, want %q", got, prometheusContentType)
+	}
+	for _, want := range []string{
+		"# TYPE prudentia_http_requests_total counter\n",
+		`prudentia_http_requests_total{route="report"} 3` + "\n",
+		`prudentia_http_cache_hits_total{route="report"} 2` + "\n",
+		`prudentia_http_not_modified_total{route="report"} 1` + "\n",
+		"# TYPE prudentia_http_request_wall_seconds histogram\n",
+		`prudentia_http_request_wall_seconds_count{route="report"}`,
+		"# TYPE prudentia_serve_ready gauge\nprudentia_serve_ready 1\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("first scrape missing %q in:\n%s", want, body)
+		}
+	}
+
+	// Monotonicity: bump between scrapes, re-scrape, counters move up and
+	// only up.
+	ri.Requests.Add(4)
+	ri.CacheHits.Inc()
+	_, body2 := scrape(t, h)
+	for _, want := range []string{
+		`prudentia_http_requests_total{route="report"} 7` + "\n",
+		`prudentia_http_cache_hits_total{route="report"} 3` + "\n",
+		`prudentia_http_not_modified_total{route="report"} 1` + "\n",
+	} {
+		if !strings.Contains(body2, want) {
+			t.Errorf("second scrape missing %q in:\n%s", want, body2)
+		}
+	}
+
+	// Deterministic ordering: scraping the same state twice must yield
+	// byte-identical expositions (sorted families, no map-order leakage).
+	_, a := scrape(t, h)
+	_, b := scrape(t, h)
+	if a != b {
+		t.Errorf("same-state scrapes differ:\n%s\nvs\n%s", a, b)
+	}
+	// And every line must be sorted within its section ordering contract:
+	// re-parsing the exposition finds each family's TYPE header before
+	// any of its samples.
+	seenSample := map[string]bool{}
+	for _, line := range strings.Split(a, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fam := strings.Fields(line)[2]
+			if seenSample[fam] {
+				t.Errorf("TYPE header for %s appears after its samples", fam)
+			}
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		seenSample[name] = true
+	}
+}
+
+// TestMetricsHandlerMethodsAndNil covers the edges: HEAD returns headers
+// only, non-GET is rejected with Allow, and a nil registry serves an
+// empty but well-formed exposition.
+func TestMetricsHandlerMethodsAndNil(t *testing.T) {
+	srv := httptest.NewServer(MetricsHandler(NewRegistry()))
+	defer srv.Close()
+
+	resp, err := http.Head(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != prometheusContentType {
+		t.Errorf("HEAD = %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+
+	resp, err = http.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Allow"); got != "GET, HEAD" {
+		t.Errorf("Allow = %q", got)
+	}
+
+	rec := httptest.NewRecorder()
+	MetricsHandler(nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("nil registry scrape = %d", rec.Code)
+	}
+	if body := rec.Body.String(); body != "" {
+		t.Errorf("nil registry body = %q, want empty", body)
+	}
+
+	// Nil-registry route handles are inert no-ops.
+	ri := HTTPRoute(nil, "report")
+	ri.Requests.Inc()
+	ri.WallLatency.Observe(1)
+	if ri.Requests.Value() != 0 {
+		t.Error("nil-registry counter recorded")
+	}
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+
+	"prudentia/internal/core"
+	"prudentia/internal/netem"
+	"prudentia/internal/services"
+)
+
+// HeatmapHTML renders one completed cycle's pair matrix as a
+// self-contained HTML page: one MmF-share heatmap table per network
+// setting, with quarantined (××) and breaker-skipped (○○) cells marked,
+// plus a legend. The page embeds no scripts, no external assets, and no
+// wall-clock state, so its bytes are a pure function of the cycle —
+// the serving layer precomputes it once per cycle, stamps a strong
+// ETag, and hands the identical bytes to every read-only viewer.
+func HeatmapHTML(cr *core.CycleResult, settings []netem.Config, svcs []services.Service) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Prudentia — cycle %d</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a1a; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table.heatmap { border-collapse: collapse; margin-top: .5rem; }
+table.heatmap th, table.heatmap td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: right; font-variant-numeric: tabular-nums; }
+table.heatmap th { background: #f2f2f2; text-align: left; font-weight: 600; }
+td.fair { background: #e8f5e9; } td.skew { background: #fff8e1; } td.unfair { background: #ffebee; }
+td.quarantined, td.skipped { text-align: center; color: #757575; }
+p.legend { color: #555; font-size: .9rem; }
+</style>
+</head>
+<body>
+<h1>Prudentia fairness watchdog — cycle %d (%d services)</h1>
+<p class="legend">Each cell is the incumbent column&#39;s median MmF-share %% against the
+contender row. <span>&#215;&#215;</span> = quarantined pair, <span>&#9675;&#9675;</span> = circuit breaker open.</p>
+`, cr.Cycle, cr.Cycle, len(svcs))
+
+	for si, res := range cr.PerSetting {
+		if si >= len(settings) {
+			break
+		}
+		fmt.Fprintf(&b, "<h2>%s setting</h2>\n<table class=\"heatmap\">\n<tr><th>cntdr \\ incmb</th>",
+			html.EscapeString(SettingLabel(settings[si])))
+		for _, name := range res.Names {
+			fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(name))
+		}
+		b.WriteString("</tr>\n")
+		for _, row := range res.Names {
+			fmt.Fprintf(&b, "<tr><th>%s</th>", html.EscapeString(row))
+			for _, col := range res.Names {
+				v, ok := res.SharePct(col, row)
+				switch {
+				case !ok:
+					b.WriteString("<td>-</td>")
+				case math.IsNaN(v):
+					b.WriteString(`<td class="quarantined">&#215;&#215;</td>`)
+				case math.IsInf(v, -1):
+					b.WriteString(`<td class="skipped">&#9675;&#9675;</td>`)
+				default:
+					fmt.Fprintf(&b, `<td class="%s">%.0f</td>`, shareClass(v), v)
+				}
+			}
+			b.WriteString("</tr>\n")
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body>\n</html>\n")
+	return []byte(b.String())
+}
+
+// shareClass buckets a share percentage for cell shading: ≥85% of the
+// fair share is rendered fair, ≥50% skewed, below that unfair.
+func shareClass(sharePct float64) string {
+	switch {
+	case sharePct >= 85:
+		return "fair"
+	case sharePct >= 50:
+		return "skew"
+	}
+	return "unfair"
+}

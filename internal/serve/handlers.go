@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"prudentia/internal/obs"
+)
+
+// buildMux wires every route once; all per-route state (instrument
+// handles, artifact selectors) is resolved here, never per request.
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/report", s.artifactHandler(s.mReport, func(c *cycleArtifacts) *artifact { return &c.report }))
+	mux.HandleFunc("/api/v1/report.txt", s.artifactHandler(s.mReportText, func(c *cycleArtifacts) *artifact { return &c.reportText }))
+	mux.HandleFunc("/api/v1/heatmap", s.artifactHandler(s.mHeatmap, func(c *cycleArtifacts) *artifact { return &c.heatmap }))
+	mux.HandleFunc("/api/v1/faults", s.artifactHandler(s.mFaults, func(c *cycleArtifacts) *artifact { return &c.faults }))
+	mux.HandleFunc("/api/v1/cycles", s.indexHandler())
+	mux.HandleFunc("/api/v1/submissions", s.submissionsHandler())
+	mux.Handle("/metrics", obs.MetricsHandler(s.cfg.Registry))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.cache.Load() == nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "no completed cycle yet\n")
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	s.mux = mux
+}
+
+// artifactHandler serves one precomputed per-cycle artifact. The
+// latest-cycle fast path (no query string) performs zero allocations:
+// one atomic load, three precomputed header-slice assignments, one
+// string compare for ETag revalidation, one body write. ?cycle=N takes
+// the slow path through the history ring.
+func (s *Server) artifactHandler(ri obs.RouteInstruments, pick func(*cycleArtifacts) *artifact) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ri.Requests.Inc()
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		c := s.cache.Load()
+		var a *artifact
+		if c != nil {
+			if r.URL.RawQuery == "" {
+				a = pick(c.latest)
+			} else if ca := s.historical(c, r.URL.RawQuery); ca != nil {
+				a = pick(ca)
+			}
+		}
+		if a == nil {
+			ri.Misses.Inc()
+			http.Error(w, "no such completed cycle", http.StatusServiceUnavailable)
+			return
+		}
+		h := w.Header()
+		h["Etag"] = a.etagV
+		h["Cache-Control"] = a.cctl
+		h["Content-Type"] = a.ctype
+		if r.Header.Get("If-None-Match") == a.etag {
+			ri.NotModified.Inc()
+			w.WriteHeader(http.StatusNotModified)
+			ri.WallLatency.Observe(time.Since(start).Seconds())
+			return
+		}
+		ri.CacheHits.Inc()
+		h["Content-Length"] = a.clen
+		w.WriteHeader(http.StatusOK)
+		if r.Method != http.MethodHead {
+			w.Write(a.body)
+		}
+		ri.WallLatency.Observe(time.Since(start).Seconds())
+	}
+}
+
+// historical resolves a ?cycle=N query against the retained ring
+// (allocation cost is fine here — it is the explicitly non-hot path).
+func (s *Server) historical(c *cycleCache, rawQuery string) *cycleArtifacts {
+	q, err := parseCycleQuery(rawQuery)
+	if err != nil {
+		return nil
+	}
+	return c.byCycle(q)
+}
+
+// parseCycleQuery accepts exactly "cycle=N".
+func parseCycleQuery(rawQuery string) (int, error) {
+	const prefix = "cycle="
+	if len(rawQuery) <= len(prefix) || rawQuery[:len(prefix)] != prefix {
+		return 0, fmt.Errorf("serve: unsupported query %q", rawQuery)
+	}
+	return strconv.Atoi(rawQuery[len(prefix):])
+}
+
+// indexHandler serves the retained-cycles index (same caching protocol
+// as the artifacts; the index is itself a per-publish artifact).
+func (s *Server) indexHandler() http.HandlerFunc {
+	ri := s.mCycles
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ri.Requests.Inc()
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		c := s.cache.Load()
+		if c == nil {
+			ri.Misses.Inc()
+			http.Error(w, "no completed cycle yet", http.StatusServiceUnavailable)
+			return
+		}
+		a := &c.index
+		h := w.Header()
+		h["Etag"] = a.etagV
+		h["Cache-Control"] = a.cctl
+		h["Content-Type"] = a.ctype
+		if r.Header.Get("If-None-Match") == a.etag {
+			ri.NotModified.Inc()
+			w.WriteHeader(http.StatusNotModified)
+			ri.WallLatency.Observe(time.Since(start).Seconds())
+			return
+		}
+		ri.CacheHits.Inc()
+		h["Content-Length"] = a.clen
+		w.WriteHeader(http.StatusOK)
+		if r.Method != http.MethodHead {
+			w.Write(a.body)
+		}
+		ri.WallLatency.Observe(time.Since(start).Seconds())
+	}
+}
+
+// submissionRequest is the POST /api/v1/submissions body.
+type submissionRequest struct {
+	// URL is the page to model and admit into future cycles.
+	URL string `json:"url"`
+	// AccessCode must match one of the engine's published codes
+	// (Appendix A); it is verified when the submission is applied at the
+	// next cycle boundary, not at enqueue time.
+	AccessCode string `json:"access_code"`
+	// Tenant identifies the submitting party for budgeting; empty means
+	// "anonymous" (all anonymous submitters share one bucket).
+	Tenant string `json:"tenant"`
+}
+
+// submissionsHandler queues tenant submissions for the next cycle
+// boundary, enforcing per-tenant token budgets and tenant circuit
+// breakers.
+func (s *Server) submissionsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", "POST")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req submissionRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096))
+		if err := dec.Decode(&req); err != nil {
+			s.subsDenied.Inc()
+			http.Error(w, "malformed submission body", http.StatusBadRequest)
+			return
+		}
+		if req.URL == "" {
+			s.subsDenied.Inc()
+			http.Error(w, "submission requires a url", http.StatusBadRequest)
+			return
+		}
+		tenant := req.Tenant
+		if tenant == "" {
+			tenant = "anonymous"
+		}
+		verdict, pos := s.tenants.admit(tenant, req.URL, req.AccessCode)
+		w.Header().Set("Content-Type", "application/json")
+		switch verdict {
+		case admitQueued:
+			s.subsAccepted.Inc()
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, "{\n  \"status\": \"queued\",\n  \"position\": %d,\n  \"applies_after_cycle\": %d\n}\n", pos, s.Latest())
+		case admitSuspended:
+			s.subsDenied.Inc()
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "{\n  \"status\": \"suspended\",\n  \"error\": \"tenant circuit breaker open; one probe admitted next cycle\"\n}\n")
+		case admitExhausted:
+			s.subsDenied.Inc()
+			w.Header().Set("Retry-After", "60")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, "{\n  \"status\": \"rate_limited\",\n  \"error\": \"per-cycle submission budget exhausted\"\n}\n")
+		case admitQueueFull:
+			s.subsDenied.Inc()
+			w.Header().Set("Retry-After", "60")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "{\n  \"status\": \"queue_full\",\n  \"error\": \"submission queue at capacity\"\n}\n")
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package serve turns the watchdog engine into a long-running service:
+// a campaign scheduler drives measurement cycles through a
+// core.CycleSource, and a read-optimized HTTP API serves each completed
+// cycle's artifacts — canonical JSON report, batch-identical text
+// report, HTML heatmap, fault ledger, Prometheus metrics — from an
+// immutable per-cycle cache swapped atomically at cycle boundaries.
+//
+// The design splits the world in two:
+//
+//   - The write side is one goroutine (the scheduler). It owns the
+//     CycleSource exclusively — RunCycle, Submit, catalog reads all
+//     happen here — so the engine keeps its single-threaded determinism
+//     guarantees without any locking.
+//   - The read side is lock-free. Every response body, ETag, and header
+//     value is precomputed into an immutable cycleCache published with
+//     one atomic pointer store; request handlers load the pointer,
+//     assign precomputed header slices, and write precomputed bytes —
+//     zero allocations on the hot path, byte-identical responses for a
+//     given cycle no matter how many daemons, restarts, or requests.
+//
+// Third-party submissions (POST /api/v1/submissions) cross from the
+// read side to the write side through a mutex-guarded queue with
+// per-tenant token buckets and tenant circuit breakers; the scheduler
+// drains the queue at cycle boundaries, so the catalog only ever
+// changes between cycles.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"prudentia/internal/core"
+	"prudentia/internal/obs"
+	"prudentia/internal/trace"
+)
+
+// Config assembles a Server. Source is required; everything else
+// defaults sanely.
+type Config struct {
+	// Source is the measurement engine (usually *core.Watchdog). The
+	// server drives it from a single goroutine; the caller must not use
+	// it concurrently while the server runs.
+	Source core.CycleSource
+	// Ledger, if non-nil, supplies the cumulative fault stream rendered
+	// at /api/v1/faults and summarized in the text report. The caller
+	// wires the engine's OnFault into it (trace.FaultLedger is
+	// concurrency-safe).
+	Ledger *trace.FaultLedger
+	// Registry, if non-nil, backs /metrics and the per-route HTTP
+	// instruments. Nil disables telemetry (handles degrade to no-ops).
+	Registry *obs.Registry
+	// CycleInterval is the pause between consecutive cycle starts
+	// (jittered per cycle; see JitterFrac). Default 10m; negative means
+	// no pause.
+	CycleInterval time.Duration
+	// JitterFrac spreads each pause by up to this fraction of
+	// CycleInterval, derived deterministically from the cycle number so
+	// a fleet of daemons started together de-synchronizes without any
+	// wall-clock state leaking into artifacts. Default 0.2.
+	JitterFrac float64
+	// History is how many completed cycles stay addressable via
+	// ?cycle=N (a ring; older cycles evict). Default 8, minimum 1.
+	History int
+	// MaxCycles stops measuring after this many cycles (0 = forever).
+	// The HTTP API keeps serving the retained history afterwards.
+	MaxCycles int
+	// SubmissionsMax caps the pending submission queue across all
+	// tenants. Default 64.
+	SubmissionsMax int
+	// TenantBurst is each tenant's per-cycle submission budget.
+	// Default 4.
+	TenantBurst int
+	// DrainTimeout bounds graceful shutdown (in-flight requests get
+	// this long to finish). Default 5s.
+	DrainTimeout time.Duration
+	// Log, if non-nil, receives human-readable daemon progress lines.
+	Log func(format string, args ...any)
+	// OnCycle, if non-nil, observes each completed cycle after its
+	// artifacts are published (the CLI uses it to mirror the batch
+	// report to stdout and export per-cycle telemetry).
+	OnCycle func(cr *core.CycleResult)
+}
+
+// Server is the watchdog daemon: scheduler plus HTTP API.
+type Server struct {
+	cfg     Config
+	cache   atomic.Pointer[cycleCache]
+	tenants *tenantTable
+	mux     *http.ServeMux
+
+	// Resolved-once instrument handles (all nil-safe).
+	mReport, mHeatmap, mFaults, mCycles obs.RouteInstruments
+	mReportText                         obs.RouteInstruments
+	cyclesPublished                     *obs.Counter
+	subsAccepted, subsDenied            *obs.Counter
+	readyGauge                          *obs.Gauge
+}
+
+// New validates cfg, applies defaults, and builds the server and its
+// routes. It does not start anything; call Run.
+func New(cfg Config) (*Server, error) {
+	if cfg.Source == nil {
+		return nil, errors.New("serve: Config.Source is required")
+	}
+	if cfg.CycleInterval == 0 {
+		cfg.CycleInterval = 10 * time.Minute
+	}
+	if cfg.JitterFrac == 0 {
+		cfg.JitterFrac = 0.2
+	}
+	if cfg.History < 1 {
+		cfg.History = 8
+	}
+	if cfg.SubmissionsMax <= 0 {
+		cfg.SubmissionsMax = 64
+	}
+	if cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = 4
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		tenants: newTenantTable(cfg.TenantBurst, cfg.SubmissionsMax),
+
+		mReport:     obs.HTTPRoute(cfg.Registry, "report"),
+		mReportText: obs.HTTPRoute(cfg.Registry, "report.txt"),
+		mHeatmap:    obs.HTTPRoute(cfg.Registry, "heatmap"),
+		mFaults:     obs.HTTPRoute(cfg.Registry, "faults"),
+		mCycles:     obs.HTTPRoute(cfg.Registry, "cycles"),
+
+		cyclesPublished: cfg.Registry.Counter("prudentia_serve_cycles_published_total"),
+		subsAccepted:    cfg.Registry.Counter("prudentia_serve_submissions_accepted_total"),
+		subsDenied:      cfg.Registry.Counter("prudentia_serve_submissions_denied_total"),
+		readyGauge:      cfg.Registry.Gauge("prudentia_serve_ready"),
+	}
+	s.buildMux()
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler (exposed for tests and for
+// embedding under an outer mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Latest reports the most recently published cycle number (0 before the
+// first cycle completes).
+func (s *Server) Latest() int {
+	if c := s.cache.Load(); c != nil {
+		return c.latest.cycle
+	}
+	return 0
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(format, args...)
+	}
+}
+
+// Run serves the HTTP API on ln and drives the measurement campaign
+// until ctx is cancelled (or a cycle fails), then drains in-flight
+// requests and returns. A graceful interrupt (core.ErrInterrupted,
+// context cancellation) is a clean nil return; only genuine cycle
+// failures surface as errors.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	httpSrv := &http.Server{Handler: s.mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	s.logf("serve: listening on %s", ln.Addr())
+
+	campaignErr := s.campaign(ctx)
+	if campaignErr == nil {
+		// Campaign finished its cycle budget; keep serving the retained
+		// history until the caller stops us.
+		select {
+		case <-ctx.Done():
+		case err := <-serveErr:
+			return fmt.Errorf("serve: http server: %w", err)
+		}
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	shutErr := httpSrv.Shutdown(drainCtx)
+	s.logf("serve: drained and stopped")
+
+	switch {
+	case campaignErr != nil && !errors.Is(campaignErr, core.ErrInterrupted) && !errors.Is(campaignErr, context.Canceled):
+		return campaignErr
+	case shutErr != nil:
+		return fmt.Errorf("serve: shutdown: %w", shutErr)
+	}
+	return nil
+}
+
+// campaign is the write side: apply queued submissions, run a cycle,
+// publish its artifacts, settle tenant state, sleep, repeat.
+func (s *Server) campaign(ctx context.Context) error {
+	for cycle := 1; s.cfg.MaxCycles == 0 || cycle <= s.cfg.MaxCycles; cycle++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.applySubmissions()
+		cr, err := s.cfg.Source.RunCycle()
+		if err != nil {
+			return err
+		}
+		if err := s.publish(cr); err != nil {
+			return fmt.Errorf("serve: publish cycle %d: %w", cr.Cycle, err)
+		}
+		s.logf("serve: published cycle %d (%d services)", cr.Cycle, len(s.cfg.Source.Catalog()))
+		if s.cfg.OnCycle != nil {
+			s.cfg.OnCycle(cr)
+		}
+		s.tenants.cycleEnd()
+		if s.cfg.MaxCycles != 0 && cycle >= s.cfg.MaxCycles {
+			return nil
+		}
+		if !sleepJittered(ctx, cycle, s.cfg.CycleInterval, s.cfg.JitterFrac) {
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// applySubmissions drains the pending queue into the engine and settles
+// each tenant's breaker on the outcome. Runs on the scheduler goroutine
+// only, so Submit needs no locking.
+func (s *Server) applySubmissions() {
+	for _, sub := range s.tenants.drain() {
+		err := s.cfg.Source.Submit(sub.url, sub.accessCode)
+		s.tenants.settle(sub.tenant, err)
+		if err != nil {
+			s.logf("serve: submission %q from %s rejected: %v", sub.url, sub.tenant, err)
+			continue
+		}
+		s.logf("serve: submission %q from %s joined the catalog", sub.url, sub.tenant)
+	}
+}
+
+// sleepJittered pauses between cycles. The jitter is a deterministic
+// function of the cycle number (FNV hash → [0, frac·interval)), so a
+// fleet of daemons launched simultaneously spreads out without
+// consulting anything nondeterministic. Returns false if ctx ended the
+// sleep.
+func sleepJittered(ctx context.Context, cycle int, interval time.Duration, frac float64) bool {
+	if interval <= 0 {
+		return ctx.Err() == nil
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(cycle >> (8 * i))
+	}
+	h.Write(buf[:])
+	jitter := time.Duration(float64(interval) * frac * (float64(h.Sum64()%1024) / 1024))
+	t := time.NewTimer(interval + jitter)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

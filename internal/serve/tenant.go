@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"sync"
+
+	"prudentia/internal/core"
+)
+
+// tenantTable is the submission admission layer: a per-tenant token
+// bucket (refilled at each cycle boundary) bounds how much catalog
+// growth any one tenant can request per cycle, a global pending queue
+// cap bounds total daemon memory, and a core.BreakerSet keyed by tenant
+// ejects tenants whose submissions repeatedly fail (bad access codes,
+// rejected URLs) exactly the way the watchdog ejects sick services.
+//
+// BreakerSet is deliberately not concurrency-safe (its call sites in
+// core are single-goroutine by design); here the table's mutex is that
+// external serialization — the HTTP handler and the scheduler both go
+// through it.
+type tenantTable struct {
+	mu sync.Mutex
+
+	burst      int // tokens granted per tenant per cycle
+	maxPending int // global queue cap across all tenants
+
+	tokens   map[string]int
+	pending  []pendingSubmission
+	breakers core.BreakerSet
+}
+
+// pendingSubmission is one accepted-but-not-yet-applied submission.
+type pendingSubmission struct {
+	tenant     string
+	url        string
+	accessCode string
+}
+
+// admission verdicts, mapped to HTTP statuses by the handler.
+type admitResult int
+
+const (
+	admitQueued admitResult = iota
+	admitSuspended
+	admitExhausted
+	admitQueueFull
+)
+
+func newTenantTable(burst, maxPending int) *tenantTable {
+	return &tenantTable{
+		burst:      burst,
+		maxPending: maxPending,
+		tokens:     make(map[string]int),
+	}
+}
+
+// admit decides one POSTed submission. On admitQueued the submission is
+// queued for the next cycle boundary and one token is consumed; every
+// other verdict leaves no trace beyond the (deterministic) token and
+// breaker state that produced it. Returns the queue position (1-based)
+// for queued submissions.
+func (t *tenantTable) admit(tenant, url, accessCode string) (admitResult, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.breakers.State(tenant) == core.BreakerOpen {
+		return admitSuspended, 0
+	}
+	tok, seen := t.tokens[tenant]
+	if !seen {
+		tok = t.burst
+	}
+	if tok <= 0 {
+		return admitExhausted, 0
+	}
+	if len(t.pending) >= t.maxPending {
+		return admitQueueFull, 0
+	}
+	t.tokens[tenant] = tok - 1
+	t.pending = append(t.pending, pendingSubmission{tenant: tenant, url: url, accessCode: accessCode})
+	return admitQueued, len(t.pending)
+}
+
+// drain removes and returns every pending submission, in arrival order.
+// The scheduler calls it once per cycle boundary.
+func (t *tenantTable) drain() []pendingSubmission {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.pending
+	t.pending = nil
+	return out
+}
+
+// settle records one applied submission's outcome against its tenant's
+// breaker. A failed Submit is worth +2 (an invalid access code trips the
+// default threshold after three strikes); while half-open, the one
+// admitted probe submission closes or re-opens the breaker outright.
+func (t *tenantTable) settle(tenant string, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.breakers.State(tenant) == core.BreakerHalfOpen {
+		t.breakers.ProbeResult(tenant, err == nil)
+		return
+	}
+	if err != nil {
+		t.breakers.Penalize(tenant, 2)
+	}
+}
+
+// cycleEnd refills every seen tenant's bucket, decays closed breakers,
+// and moves open tenant breakers to half-open so each suspended tenant
+// gets exactly one probe submission next cycle — the same canary
+// protocol the watchdog applies to ejected services.
+func (t *tenantTable) cycleEnd() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for tenant := range t.tokens {
+		t.tokens[tenant] = t.burst
+	}
+	t.breakers.Decay()
+	for _, tenant := range t.breakers.OpenServices() {
+		t.breakers.BeginProbe(tenant)
+	}
+}
+
+// suspended reports whether a tenant's breaker is open (for tests and
+// status introspection).
+func (t *tenantTable) suspended(tenant string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.breakers.State(tenant) == core.BreakerOpen
+}

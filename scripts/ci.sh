@@ -20,6 +20,14 @@
 #                          coordinator's report byte-compared against a
 #                          serial run. Failure leaves the fleet timeline
 #                          and worker logs in $ARTIFACTS.
+#   scripts/ci.sh -serve   serving smoke: boot the daemon on an
+#                          ephemeral port, hit every endpoint, assert
+#                          ETag revalidation, byte-compare the daemon's
+#                          text report against a batch run at the same
+#                          seed, queue a submission, require a graceful
+#                          SIGTERM drain, then run the cached-handler
+#                          zero-allocation bench gate. Failure leaves
+#                          the daemon log and responses in $ARTIFACTS.
 #
 # Environment:
 #   CI_REQUIRE_TOOLS=1   make missing staticcheck/govulncheck fatal
@@ -36,12 +44,14 @@ cd "$(dirname "$0")/.."
 SHORT=0
 SOAK=0
 FLEET=0
+SERVE=0
 for arg in "$@"; do
     case "$arg" in
         -short) SHORT=1 ;;
         -soak) SOAK=1 ;;
         -fleet) FLEET=1 ;;
-        *) echo "usage: scripts/ci.sh [-short|-soak|-fleet]" >&2; exit 2 ;;
+        -serve) SERVE=1 ;;
+        *) echo "usage: scripts/ci.sh [-short|-soak|-fleet|-serve]" >&2; exit 2 ;;
     esac
 done
 
@@ -155,6 +165,134 @@ if [ "$FLEET" -eq 1 ]; then
     }
     rm -f "$ARTIFACTS/prudentia" "$ARTIFACTS/fleet-serial-cycle.txt" "$ARTIFACTS/fleet-report-cycle.txt"
     echo "ci: fleet smoke passed (report byte-identical to serial)"
+    exit 0
+fi
+
+# Serving smoke (-serve): the daemon is the same engine behind an HTTP
+# API, so the assertions are the serving contract itself — readiness
+# flips only after the first completed cycle, every artifact carries a
+# strong ETag that revalidates to 304, the text report is byte-identical
+# to a batch run at the same seed, a submission with a published access
+# code queues with 202, and SIGTERM drains to a clean exit. The daemon
+# log and every response body stay in $ARTIFACTS for the failure upload.
+if [ "$SERVE" -eq 1 ]; then
+    go build -o "$ARTIFACTS/prudentia" ./cmd/prudentia
+    BIN="$ARTIFACTS/prudentia"
+    SERVE_ARGS=(-cycles 1 -setting high -seed 42 -workers 2
+                -services "iPerf (Cubic),iPerf (BBR)")
+
+    echo "ci: serve smoke: batch reference run"
+    "$BIN" "${SERVE_ARGS[@]}" > "$ARTIFACTS/serve-batch.txt"
+
+    echo "ci: serve smoke: daemon boot on ephemeral port"
+    rm -f "$ARTIFACTS/serve-addr.txt"
+    "$BIN" "${SERVE_ARGS[@]}" -serve -serve-addr 127.0.0.1:0 \
+        -serve-addr-file "$ARTIFACTS/serve-addr.txt" -cycle-interval 1h \
+        > "$ARTIFACTS/serve-daemon.log" 2>&1 &
+    SERVE_PID=$!
+    trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+    for _ in $(seq 300); do
+        [ -s "$ARTIFACTS/serve-addr.txt" ] && break
+        sleep 0.1
+    done
+    [ -s "$ARTIFACTS/serve-addr.txt" ] || {
+        echo "ci: daemon never published its address" >&2
+        cat "$ARTIFACTS/serve-daemon.log" >&2
+        exit 1
+    }
+    BASE="http://$(head -n1 "$ARTIFACTS/serve-addr.txt")"
+
+    # /readyz must gate on the first completed cycle (503 until then,
+    # 200 after); the first cycle at this budget takes a few seconds.
+    READY=0
+    for _ in $(seq 600); do
+        if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then
+            READY=1
+            break
+        fi
+        sleep 0.1
+    done
+    [ "$READY" -eq 1 ] || {
+        echo "ci: daemon never became ready" >&2
+        cat "$ARTIFACTS/serve-daemon.log" >&2
+        exit 1
+    }
+    curl -fsS "$BASE/healthz" > /dev/null
+
+    # Strong ETag + 304 revalidation on the JSON report.
+    curl -fsS -D "$ARTIFACTS/serve-report-headers.txt" \
+        -o "$ARTIFACTS/serve-report.json" "$BASE/api/v1/report"
+    ETAG="$(awk 'tolower($1) == "etag:" { sub(/\r$/, "", $2); print $2 }' \
+        "$ARTIFACTS/serve-report-headers.txt")"
+    [ -n "$ETAG" ] || { echo "ci: report response carried no ETag" >&2; exit 1; }
+    CODE="$(curl -s -o /dev/null -w '%{http_code}' \
+        -H "If-None-Match: $ETAG" "$BASE/api/v1/report")"
+    [ "$CODE" = "304" ] || {
+        echo "ci: If-None-Match revalidation returned $CODE, want 304" >&2
+        exit 1
+    }
+
+    # The daemon's text report must be byte-identical to the batch run
+    # (batch stdout filtered to the report block, same as -fleet).
+    curl -fsS -o "$ARTIFACTS/serve-report.txt" "$BASE/api/v1/report.txt"
+    awk '/^=== cycle/{found=1} found' "$ARTIFACTS/serve-batch.txt" > "$ARTIFACTS/serve-batch-cycle.txt"
+    if ! diff -u "$ARTIFACTS/serve-batch-cycle.txt" "$ARTIFACTS/serve-report.txt"; then
+        echo "ci: daemon report.txt diverged from the batch run; responses in $ARTIFACTS" >&2
+        exit 1
+    fi
+
+    # Remaining read endpoints respond with their documented shapes.
+    curl -fsS -o "$ARTIFACTS/serve-heatmap.html" "$BASE/api/v1/heatmap"
+    grep -q '<table class="heatmap">' "$ARTIFACTS/serve-heatmap.html" || {
+        echo "ci: heatmap response is missing its table" >&2
+        exit 1
+    }
+    curl -fsS -o "$ARTIFACTS/serve-faults.jsonl" "$BASE/api/v1/faults"
+    curl -fsS -o "$ARTIFACTS/serve-cycles.json" "$BASE/api/v1/cycles"
+    grep -q '"latest": 1' "$ARTIFACTS/serve-cycles.json" || {
+        echo "ci: cycles index does not report cycle 1 as latest" >&2
+        exit 1
+    }
+    curl -fsS -o "$ARTIFACTS/serve-metrics.prom" "$BASE/metrics"
+    grep -q 'prudentia_http_requests_total' "$ARTIFACTS/serve-metrics.prom" || {
+        echo "ci: /metrics is missing the HTTP request counters" >&2
+        exit 1
+    }
+
+    # Submissions queue behind the published access code.
+    CODE="$(curl -s -o "$ARTIFACTS/serve-submission.json" -w '%{http_code}' \
+        -X POST -H 'Content-Type: application/json' \
+        -d '{"url":"https://example.com/page","access_code":"KD4p1Z8Gs1SVPHUrTOVTMNHtvUnMSmvZ","tenant":"ci"}' \
+        "$BASE/api/v1/submissions")"
+    [ "$CODE" = "202" ] || {
+        echo "ci: submission returned $CODE, want 202 ($(cat "$ARTIFACTS/serve-submission.json"))" >&2
+        exit 1
+    }
+
+    # Graceful drain: SIGTERM → clean exit → drain line in the log.
+    kill -TERM "$SERVE_PID"
+    SERVE_FAIL=0
+    wait "$SERVE_PID" || SERVE_FAIL=$?
+    trap - EXIT
+    if [ "$SERVE_FAIL" -ne 0 ]; then
+        echo "ci: daemon exited $SERVE_FAIL after SIGTERM; log in $ARTIFACTS" >&2
+        exit 1
+    fi
+    grep -q 'serve: drained and stopped' "$ARTIFACTS/serve-daemon.log" || {
+        echo "ci: daemon log is missing the graceful-drain line" >&2
+        exit 1
+    }
+
+    # Cached-handler zero-allocation bench gate: every read-path hit and
+    # 304 must stay allocation-free (the contract TestZeroAllocHotPath
+    # pins per-handler; this measures the shipped numbers and fails on
+    # any alloc). The reduction lands in the artifact dir, never on the
+    # committed BENCH_serve.json.
+    BENCH_SERVE_OUT="$PWD/$ARTIFACTS/BENCH_serve.json" scripts/bench.sh serve
+
+    rm -f "$ARTIFACTS/prudentia" "$ARTIFACTS/serve-batch-cycle.txt"
+    echo "ci: serve smoke passed (ETag/304, byte-identical report, 202 submission, graceful drain, 0-alloc handlers)"
     exit 0
 fi
 
