@@ -128,6 +128,8 @@ func main() {
 		cycleEvery = flag.Duration("cycle-interval", 10*time.Minute, "serve: pause between cycle starts (jittered per cycle; <0 = none)")
 		history    = flag.Int("history", 8, "serve: completed cycles kept addressable via ?cycle=N")
 		subsMax    = flag.Int("submissions-max", 64, "serve: cap on queued POST /api/v1/submissions across all tenants")
+		serveDir   = flag.String("serve-dir", "", "serve: durable state directory (submission WAL, per-cycle artifacts, and — unless -checkpoint/-journal override — the cycle checkpoint and trial journal); a restarted daemon rehydrates its history, replays unapplied submissions, and resumes the interrupted cycle")
+		chaosDisk  = flag.Uint64("chaos-disk", 0, "chaos: arm the seed-deterministic disk-fault plan (injected ENOSPC, torn-tail fsyncs, fsync stalls) on the durable writers with this seed (0 = off)")
 
 		// Fleet mode: one coordinator shards the pair matrix over N
 		// worker processes (prudentia.fleet/1 over TCP); the merged
@@ -162,6 +164,12 @@ func main() {
 	if *chaosOn {
 		plan := chaos.Default()
 		w.Opts.Chaos = &plan
+	}
+	if *chaosDisk != 0 {
+		// Disk faults ride the durable writers (checkpoint, trial
+		// journal, submission WAL), not the trials, so they compose with
+		// -chaos and never perturb the measurement results themselves.
+		w.DiskChaos = chaos.DefaultDiskPlan(*chaosDisk)
 	}
 	w.Opts.WallBudget = *maxWall
 	if *adaptive && !*fixedTrial {
@@ -373,6 +381,18 @@ func main() {
 	// until a signal drains it. Placed after the coordinator block so
 	// `-serve -coordinator` serves fleet-backed cycles.
 	if *serveMode {
+		if *serveDir != "" {
+			// The state directory is the one-stop durability root: the
+			// engine's checkpoint and trial journal default into it so a
+			// plain `-serve -serve-dir d` restart resumes an interrupted
+			// cycle without further flags.
+			if w.CheckpointPath == "" {
+				w.CheckpointPath = filepath.Join(*serveDir, "checkpoint.json")
+			}
+			if w.JournalPath == "" {
+				w.JournalPath = filepath.Join(*serveDir, "trials.wal")
+			}
+		}
 		err := runServe(w, ledger, reg, serveOptions{
 			addr:           *serveAddr,
 			addrFile:       *serveFile,
@@ -380,6 +400,7 @@ func main() {
 			history:        *history,
 			submissionsMax: *subsMax,
 			maxCycles:      *cycles,
+			stateDir:       *serveDir,
 		}, stopped, exportObs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "prudentia: %v\n", err)

@@ -29,6 +29,7 @@ type serveOptions struct {
 	history        int
 	submissionsMax int
 	maxCycles      int
+	stateDir       string
 }
 
 // runServe boots the daemon and blocks until stopped closes (first
@@ -43,6 +44,8 @@ func runServe(w *core.Watchdog, ledger *trace.FaultLedger, reg *obs.Registry,
 		History:        opts.history,
 		SubmissionsMax: opts.submissionsMax,
 		MaxCycles:      opts.maxCycles,
+		StateDir:       opts.stateDir,
+		DiskChaos:      w.DiskChaos,
 		Log: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

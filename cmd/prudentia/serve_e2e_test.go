@@ -79,7 +79,7 @@ func startDaemon(t *testing.T, bin, dir string, extra ...string) (string, *exec.
 func TestServeEndToEndBinary(t *testing.T) {
 	bin := buildBinary(t)
 	dir := t.TempDir()
-	base, _, stop := startDaemon(t, bin, dir)
+	base, cmd, _ := startDaemon(t, bin, dir)
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	fetch := func(path string) (*http.Response, string) {
@@ -156,8 +156,30 @@ func TestServeEndToEndBinary(t *testing.T) {
 		t.Errorf("submission = %d, want 202", sub.StatusCode)
 	}
 
-	// Graceful drain: SIGTERM → clean exit, drain line in the log.
-	if err := stop(); err != nil {
+	// Graceful drain: SIGTERM flips /readyz to 503 ("draining") while
+	// the listener still accepts — the window load balancers need to
+	// stop routing here — then the daemon exits cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	sawDraining := false
+	for deadline := time.Now().Add(3 * time.Second); time.Now().Before(deadline); {
+		resp, err := client.Get(base + "/readyz")
+		if err != nil {
+			break // listener closed; the drain grace is over
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && strings.Contains(string(b), "draining") {
+			sawDraining = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Error("readyz never reported 503 draining during the SIGTERM drain window")
+	}
+	if err := cmd.Wait(); err != nil {
 		t.Fatalf("daemon exit after SIGTERM: %v", err)
 	}
 	log, err := os.ReadFile(filepath.Join(dir, "daemon.log"))

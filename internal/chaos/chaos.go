@@ -297,6 +297,10 @@ const (
 	saltStream  = 0xc5a7_0005_9e37_79b9
 
 	saltPartition = 0xc5a7_0006_9e37_79b9
+
+	saltDiskWrite = 0xc5a7_0007_9e37_79b9
+	saltDiskStall = 0xc5a7_0008_9e37_79b9
+	saltDiskTear  = 0xc5a7_0009_9e37_79b9
 )
 
 // mix is the SplitMix64 finalizer: a bijective avalanche hash.

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"prudentia/internal/chaos"
 	"prudentia/internal/obs"
 )
 
@@ -109,17 +110,28 @@ var ErrCheckpointNoBudget = errors.New("checkpoint carries no adaptive budget st
 // file fsync persists its contents, the directory fsync persists the
 // name pointing at them.
 func SaveCheckpoint(path string, cp *Checkpoint) error {
+	return SaveCheckpointDisk(path, cp, nil)
+}
+
+// SaveCheckpointDisk is SaveCheckpoint with disk-fault injection: the
+// temp file's writes and fsync run through the chaos plan (nil = no
+// injection), so an injected ENOSPC or torn-at-fsync tear aborts the
+// temp file and the rename never happens — the previous good
+// checkpoint stays intact, which is exactly the atomic-save property
+// the chaos plan exists to prove.
+func SaveCheckpointDisk(path string, cp *Checkpoint, disk *chaos.DiskPlan) error {
 	cp.Schema = CheckpointSchema
 	data, err := json.MarshalIndent(cp, "", "  ")
 	if err != nil {
 		return fmt.Errorf("core: marshal checkpoint: %w", err)
 	}
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".prudentia-ckpt-*")
+	rawTmp, err := os.CreateTemp(dir, ".prudentia-ckpt-*")
 	if err != nil {
 		return fmt.Errorf("core: checkpoint temp file: %w", err)
 	}
-	tmpName := tmp.Name()
+	tmpName := rawTmp.Name()
+	tmp := chaos.WrapFile(rawTmp, disk)
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"prudentia/internal/chaos"
 	"prudentia/internal/journal"
 	"prudentia/internal/netem"
 	"prudentia/internal/obs"
@@ -66,6 +67,13 @@ type Watchdog struct {
 	// cycle completes. Journal open failures degrade to unjournaled
 	// operation (reported via Progress), never abort the cycle.
 	JournalPath string
+	// DiskChaos, when non-nil, runs the watchdog's durable writers —
+	// the cycle checkpoint and the trial journal — through a
+	// seed-deterministic disk-fault plan (injected ENOSPC, torn tails
+	// at fsync, fsync stalls). Both writers already degrade rather than
+	// die on disk failure; the plan exists to keep those paths
+	// exercised. Not part of the byte-identical replay contract.
+	DiskChaos *chaos.DiskPlan
 	// Breakers holds the per-service circuit breakers (breaker.go). Nil
 	// means RunCycle creates a fresh set on first use; supply one to
 	// tune Threshold or observe transitions. The set persists across
@@ -91,6 +99,7 @@ type Watchdog struct {
 	submissions []Submission
 	resume      *Checkpoint
 	lastJournal *obs.JournalInfo
+	cycleOffset int
 }
 
 // CycleResult is one complete iteration over all pairs in all settings.
@@ -200,6 +209,20 @@ func (w *Watchdog) LoadCheckpoint() (bool, error) {
 	return true, nil
 }
 
+// AdvanceTo tells the watchdog that its next cycle is cycle `next`,
+// even though it holds no in-memory history for the earlier ones. A
+// restarted daemon that rehydrated N completed cycles from disk calls
+// AdvanceTo(N+1) so cycle numbering — and with it every cycle-derived
+// trial seed — continues exactly where the previous process stopped.
+// A staged checkpoint still overrides: resuming an interrupted cycle
+// reuses the checkpoint's own number.
+func (w *Watchdog) AdvanceTo(next int) {
+	off := next - 1 - len(w.cycles)
+	if off > w.cycleOffset {
+		w.cycleOffset = off
+	}
+}
+
 // interrupted polls the graceful-stop hook.
 func (w *Watchdog) interrupted() bool { return w.Interrupt != nil && w.Interrupt() }
 
@@ -209,7 +232,7 @@ func (w *Watchdog) flush(cp *Checkpoint) {
 	if w.CheckpointPath == "" {
 		return
 	}
-	if err := SaveCheckpoint(w.CheckpointPath, cp); err != nil {
+	if err := SaveCheckpointDisk(w.CheckpointPath, cp, w.DiskChaos); err != nil {
 		if w.Progress != nil {
 			w.Progress("checkpoint save failed: %v", err)
 		}
@@ -243,7 +266,7 @@ func (w *Watchdog) RunCycle() (*CycleResult, error) {
 		// (cmd/prudentia does exactly that, with a stderr warning).
 		return nil, ErrCheckpointNoBudget
 	}
-	cr := &CycleResult{Cycle: len(w.cycles) + 1}
+	cr := &CycleResult{Cycle: w.cycleOffset + len(w.cycles) + 1}
 	cp := w.resume
 	w.resume = nil
 	if cp != nil {
@@ -479,7 +502,12 @@ func (w *Watchdog) openJournal() (*journalSink, *journal.Writer, journal.Recover
 	if w.JournalPath == "" {
 		return nil, nil, journal.Recovery{}, nil
 	}
-	jw, rec, err := journal.Open(w.JournalPath)
+	var wrap journal.WrapFunc
+	if w.DiskChaos.Enabled() {
+		plan := w.DiskChaos
+		wrap = func(f *os.File) journal.File { return chaos.WrapFile(f, plan) }
+	}
+	jw, rec, err := journal.OpenWrapped(w.JournalPath, wrap)
 	if errors.Is(err, journal.ErrFutureVersion) {
 		return nil, nil, journal.Recovery{}, err
 	}

@@ -84,6 +84,30 @@ const frameHeader = 8
 // demand an absurd allocation during recovery.
 const maxRecord = 16 << 20
 
+// File is the journal's storage seam: the subset of *os.File the writer
+// and recovery paths touch. Production code passes the file itself;
+// chaos tests pass a fault-injecting wrapper (chaos.FaultyFile) so the
+// sticky-degrade and torn-tail recovery paths run under injected disk
+// misbehavior instead of being trusted on faith.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	Close() error
+}
+
+// WrapFunc turns a freshly opened journal file into the File the writer
+// uses. nil means "use the file as-is".
+type WrapFunc func(*os.File) File
+
+func wrapOrSelf(f *os.File, wrap WrapFunc) File {
+	if wrap == nil {
+		return f
+	}
+	return wrap(f)
+}
+
 // Entry is one journaled trial attempt. Seed is the replay key: every
 // trial seed is a pure function of (BaseSeed, experiment identity,
 // attempt), so a resumed cycle asks the journal "do you already know
@@ -139,7 +163,7 @@ type Recovery struct {
 // of dying.
 type Writer struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       File
 	records int64
 	bytes   int64
 	err     error
@@ -166,8 +190,11 @@ func (w *Writer) Err() error {
 	return w.err
 }
 
-// frame encodes one payload as a journal frame.
-func frame(payload []byte) []byte {
+// Frame encodes one payload as a length-prefixed CRC32 journal frame —
+// the container every prudentia on-disk log shares (trial journal,
+// fleet protocol, submission WAL). Exported so sibling WALs reuse the
+// exact framing instead of reimplementing it.
+func Frame(payload []byte) []byte {
 	buf := make([]byte, frameHeader+len(payload))
 	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
@@ -195,17 +222,24 @@ func syncDir(dir string) error {
 // Create makes a new journal at path (truncating any previous one),
 // writes the schema header, and fsyncs both the file and its directory
 // before returning.
-func Create(path string) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+func Create(path string) (*Writer, error) { return CreateWrapped(path, nil) }
+
+// CreateWrapped is Create with a storage wrapper: the freshly opened
+// file is passed through wrap (nil = none) before the header is
+// written, so fault-injecting wrappers see every byte the journal ever
+// writes, header included.
+func CreateWrapped(path string, wrap WrapFunc) (*Writer, error) {
+	raw, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: create %s: %w", path, err)
 	}
+	f := wrapOrSelf(raw, wrap)
 	hdr, err := json.Marshal(header{Schema: Schema})
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("journal: marshal header: %w", err)
 	}
-	if _, err := f.Write(frame(hdr)); err != nil {
+	if _, err := f.Write(Frame(hdr)); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("journal: write header: %w", err)
 	}
@@ -223,20 +257,25 @@ func Create(path string) (*Writer, error) {
 // A missing file is created fresh. A torn or corrupt tail is truncated
 // (and the truncation fsynced) before appending resumes; the returned
 // Recovery reports the intact entries and how much was cut.
-func Open(path string) (*Writer, Recovery, error) {
+func Open(path string) (*Writer, Recovery, error) { return OpenWrapped(path, nil) }
+
+// OpenWrapped is Open with a storage wrapper (see CreateWrapped): both
+// the recovery repair (truncation, sync) and all subsequent appends go
+// through the wrapped file.
+func OpenWrapped(path string, wrap WrapFunc) (*Writer, Recovery, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		w, cerr := Create(path)
+		w, cerr := CreateWrapped(path, wrap)
 		return w, Recovery{}, cerr
 	}
 	if err != nil {
 		return nil, Recovery{}, fmt.Errorf("journal: read %s: %w", path, err)
 	}
-	payloads, good := scanFrames(data)
+	payloads, good := ScanFrames(data)
 	if len(payloads) == 0 {
 		// Not even a whole header frame: the file carries no intact
 		// records, so rebuilding from scratch loses nothing.
-		w, cerr := Create(path)
+		w, cerr := CreateWrapped(path, wrap)
 		if cerr != nil {
 			return nil, Recovery{}, cerr
 		}
@@ -263,10 +302,11 @@ func Open(path string) (*Writer, Recovery, error) {
 	rec.TornBytes = int64(len(data)) - good
 	rec.Truncated = rec.TornBytes > 0
 
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	raw, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, Recovery{}, fmt.Errorf("journal: reopen %s: %w", path, err)
 	}
+	f := wrapOrSelf(raw, wrap)
 	if rec.Truncated {
 		if err := f.Truncate(good); err != nil {
 			f.Close()
@@ -285,9 +325,12 @@ func Open(path string) (*Writer, Recovery, error) {
 	return &Writer{f: f}, rec, nil
 }
 
-// scanFrames walks data frame by frame, returning the intact payloads
-// and the byte offset of the end of the last intact frame.
-func scanFrames(data []byte) (payloads [][]byte, good int64) {
+// ScanFrames walks data frame by frame, returning the intact payloads
+// and the byte offset of the end of the last intact frame — the
+// truncation point recovery cuts a torn or corrupt tail back to.
+// Exported (with Frame) as the shared recovery scanner for every
+// prudentia framed log.
+func ScanFrames(data []byte) (payloads [][]byte, good int64) {
 	off := 0
 	for {
 		if off+frameHeader > len(data) {
@@ -329,7 +372,7 @@ func (w *Writer) Append(e Entry) error {
 	if err != nil {
 		return fmt.Errorf("journal: marshal entry: %w", err)
 	}
-	buf := frame(payload)
+	buf := Frame(payload)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {

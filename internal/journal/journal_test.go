@@ -218,7 +218,7 @@ func TestOpenMissingCreates(t *testing.T) {
 func TestWrongSchemaRejected(t *testing.T) {
 	path := tmpJournal(t)
 	payload := []byte(`{"schema":"other/9"}`)
-	if err := os.WriteFile(path, frame(payload), 0o644); err != nil {
+	if err := os.WriteFile(path, Frame(payload), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := Open(path); err == nil {
@@ -317,7 +317,7 @@ func FuzzScan(f *testing.F) {
 func TestCRCMatchesStdlib(t *testing.T) {
 	// Pin the checksum choice: the on-disk format commits to CRC32-IEEE.
 	payload := []byte(`{"seed":1}`)
-	fr := frame(payload)
+	fr := Frame(payload)
 	if got := binary.BigEndian.Uint32(fr[4:8]); got != crc32.ChecksumIEEE(payload) {
 		t.Fatalf("frame CRC %#x", got)
 	}

@@ -13,7 +13,7 @@ func writeHeader(t *testing.T, schema string) string {
 	t.Helper()
 	path := tmpJournal(t)
 	payload := []byte(`{"schema":"` + schema + `"}`)
-	if err := os.WriteFile(path, frame(payload), 0o644); err != nil {
+	if err := os.WriteFile(path, Frame(payload), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	return path

@@ -66,6 +66,35 @@ type cycleCache struct {
 	latest *cycleArtifacts
 	all    []*cycleArtifacts
 	index  artifact
+
+	// stale counts consecutive failed cycles since latest was
+	// published. While stale > 0 the daemon serves the last good
+	// artifacts in degraded mode, and every response carries the
+	// precomputed staleness headers below (nil when healthy, so the
+	// hot path pays one nil check and nothing else).
+	stale    int
+	warnHdr  []string // Warning: 110 prudentia "Response is Stale"
+	staleHdr []string // X-Prudentia-Stale-Cycles: <stale>
+}
+
+// precomputeStaleHeaders materializes the degraded-mode header values
+// once per cache build, keeping the request path allocation-free.
+func (c *cycleCache) precomputeStaleHeaders() {
+	if c.stale <= 0 {
+		return
+	}
+	c.warnHdr = []string{`110 prudentia "Response is Stale"`}
+	c.staleHdr = []string{strconv.Itoa(c.stale)}
+}
+
+// setStaleHeaders assigns the staleness headers when degraded (no-op
+// while healthy). h is the request's header map.
+func (c *cycleCache) setStaleHeaders(h map[string][]string) {
+	if c.staleHdr == nil {
+		return
+	}
+	h["Warning"] = c.warnHdr
+	h["X-Prudentia-Stale-Cycles"] = c.staleHdr
 }
 
 // byCycle finds a retained cycle by number (nil if evicted or future).

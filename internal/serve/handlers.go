@@ -28,6 +28,13 @@ func (s *Server) buildMux() {
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			// Shutdown has begun: the listener still accepts (for
+			// DrainGrace) but new traffic should go elsewhere.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
 		if s.cache.Load() == nil {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			io.WriteString(w, "no completed cycle yet\n")
@@ -70,6 +77,7 @@ func (s *Server) artifactHandler(ri obs.RouteInstruments, pick func(*cycleArtifa
 		h["Etag"] = a.etagV
 		h["Cache-Control"] = a.cctl
 		h["Content-Type"] = a.ctype
+		c.setStaleHeaders(h)
 		if r.Header.Get("If-None-Match") == a.etag {
 			ri.NotModified.Inc()
 			w.WriteHeader(http.StatusNotModified)
@@ -128,6 +136,7 @@ func (s *Server) indexHandler() http.HandlerFunc {
 		h["Etag"] = a.etagV
 		h["Cache-Control"] = a.cctl
 		h["Content-Type"] = a.ctype
+		c.setStaleHeaders(h)
 		if r.Header.Get("If-None-Match") == a.etag {
 			ri.NotModified.Inc()
 			w.WriteHeader(http.StatusNotModified)
@@ -195,15 +204,26 @@ func (s *Server) submissionsHandler() http.HandlerFunc {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintf(w, "{\n  \"status\": \"suspended\",\n  \"error\": \"tenant circuit breaker open; one probe admitted next cycle\"\n}\n")
 		case admitExhausted:
+			// Budgets refill at the next cycle boundary, so that is the
+			// honest earliest retry time.
 			s.subsDenied.Inc()
-			w.Header().Set("Retry-After", "60")
+			w.Header().Set("Retry-After", s.retryAfter)
 			w.WriteHeader(http.StatusTooManyRequests)
 			fmt.Fprintf(w, "{\n  \"status\": \"rate_limited\",\n  \"error\": \"per-cycle submission budget exhausted\"\n}\n")
 		case admitQueueFull:
 			s.subsDenied.Inc()
-			w.Header().Set("Retry-After", "60")
+			w.Header().Set("Retry-After", s.retryAfter)
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintf(w, "{\n  \"status\": \"queue_full\",\n  \"error\": \"submission queue at capacity\"\n}\n")
+		case admitWALFail:
+			// The durable accept record could not be written; a 202
+			// without it would promise durability the daemon cannot
+			// deliver. Compaction at the next cycle boundary rewrites the
+			// WAL and usually clears the degradation.
+			s.subsDenied.Inc()
+			w.Header().Set("Retry-After", s.retryAfter)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "{\n  \"status\": \"persistence_unavailable\",\n  \"error\": \"submission store cannot accept durable writes; retry after the next cycle\"\n}\n")
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -257,13 +258,22 @@ func TestServeDeterminism(t *testing.T) {
 }
 
 // fakeSource is a CycleSource stub for scheduler/handler unit tests.
+// Setting failNext makes the next N RunCycle calls fail (without
+// advancing the cycle number), mimicking an engine mid-outage.
 type fakeSource struct {
 	cycle     int
 	submitted []string
 	submitErr error
+	failNext  int
+	failures  int
 }
 
 func (f *fakeSource) RunCycle() (*core.CycleResult, error) {
+	if f.failNext > 0 {
+		f.failNext--
+		f.failures++
+		return nil, errors.New("fake: cycle blew up")
+	}
 	f.cycle++
 	return &core.CycleResult{Cycle: f.cycle}, nil
 }

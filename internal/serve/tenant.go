@@ -16,7 +16,9 @@ import (
 // BreakerSet is deliberately not concurrency-safe (its call sites in
 // core are single-goroutine by design); here the table's mutex is that
 // external serialization — the HTTP handler and the scheduler both go
-// through it.
+// through it. The optional submission WAL (subswal.go) is serialized by
+// the same mutex, which also keeps WAL record order identical to
+// admission order.
 type tenantTable struct {
 	mu sync.Mutex
 
@@ -26,10 +28,13 @@ type tenantTable struct {
 	tokens   map[string]int
 	pending  []pendingSubmission
 	breakers core.BreakerSet
+	wal      *subsWAL // nil = durability disabled
 }
 
-// pendingSubmission is one accepted-but-not-yet-applied submission.
+// pendingSubmission is one accepted-but-not-yet-applied submission. seq
+// is its WAL sequence number (0 when durability is disabled).
 type pendingSubmission struct {
+	seq        uint64
 	tenant     string
 	url        string
 	accessCode string
@@ -43,6 +48,12 @@ const (
 	admitSuspended
 	admitExhausted
 	admitQueueFull
+	// admitWALFail: the submission passed every admission check but its
+	// durable accept record could not be written. Accepting anyway would
+	// promise a durability the daemon cannot deliver, so the handler
+	// answers 503 and the client retries after the next cycle boundary
+	// (where compaction rewrites the WAL and clears the degradation).
+	admitWALFail
 )
 
 func newTenantTable(burst, maxPending int) *tenantTable {
@@ -53,11 +64,16 @@ func newTenantTable(burst, maxPending int) *tenantTable {
 	}
 }
 
+// attachWAL arms the durable submission store. Must be called before
+// the server starts admitting (no lock: single-threaded setup).
+func (t *tenantTable) attachWAL(w *subsWAL) { t.wal = w }
+
 // admit decides one POSTed submission. On admitQueued the submission is
-// queued for the next cycle boundary and one token is consumed; every
-// other verdict leaves no trace beyond the (deterministic) token and
-// breaker state that produced it. Returns the queue position (1-based)
-// for queued submissions.
+// durably logged (when a WAL is attached), queued for the next cycle
+// boundary, and one token is consumed; every other verdict leaves no
+// trace beyond the (deterministic) token and breaker state that
+// produced it. Returns the queue position (1-based) for queued
+// submissions.
 func (t *tenantTable) admit(tenant, url, accessCode string) (admitResult, int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -74,8 +90,14 @@ func (t *tenantTable) admit(tenant, url, accessCode string) (admitResult, int) {
 	if len(t.pending) >= t.maxPending {
 		return admitQueueFull, 0
 	}
+	seq := t.wal.nextSeq()
+	if err := t.wal.appendAccept(seq, tenant, url, accessCode); err != nil {
+		// The accept record is the 202's durability promise; without it
+		// the submission is refused, with no token or queue side effects.
+		return admitWALFail, 0
+	}
 	t.tokens[tenant] = tok - 1
-	t.pending = append(t.pending, pendingSubmission{tenant: tenant, url: url, accessCode: accessCode})
+	t.pending = append(t.pending, pendingSubmission{seq: seq, tenant: tenant, url: url, accessCode: accessCode})
 	return admitQueued, len(t.pending)
 }
 
@@ -89,29 +111,40 @@ func (t *tenantTable) drain() []pendingSubmission {
 	return out
 }
 
-// settle records one applied submission's outcome against its tenant's
-// breaker. A failed Submit is worth +2 (an invalid access code trips the
+// settle records one applied submission's outcome: a durable apply
+// record naming the cycle that will include it, plus the tenant-breaker
+// update. A failed Submit is worth +2 (an invalid access code trips the
 // default threshold after three strikes); while half-open, the one
 // admitted probe submission closes or re-opens the breaker outright.
-func (t *tenantTable) settle(tenant string, err error) {
+func (t *tenantTable) settle(sub pendingSubmission, cycle int, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.breakers.State(tenant) == core.BreakerHalfOpen {
-		t.breakers.ProbeResult(tenant, err == nil)
+	// Best-effort: a sticky WAL error here degrades exactly-once
+	// accounting to at-least-once for this submission (restart would
+	// re-apply it), which is the right failure direction for a 202
+	// already promised.
+	t.wal.appendApply(sub.seq, err == nil, cycle)
+	if t.breakers.State(sub.tenant) == core.BreakerHalfOpen {
+		t.breakers.ProbeResult(sub.tenant, err == nil)
 		return
 	}
 	if err != nil {
-		t.breakers.Penalize(tenant, 2)
+		t.breakers.Penalize(sub.tenant, 2)
 	}
 }
 
-// cycleEnd refills every seen tenant's bucket, decays closed breakers,
-// and moves open tenant breakers to half-open so each suspended tenant
-// gets exactly one probe submission next cycle — the same canary
-// protocol the watchdog applies to ejected services.
-func (t *tenantTable) cycleEnd() {
+// cycleEnd commits the just-published cycle to the WAL, refills every
+// seen tenant's bucket, decays closed breakers, and moves open tenant
+// breakers to half-open so each suspended tenant gets exactly one probe
+// submission next cycle — the same canary protocol the watchdog applies
+// to ejected services. It then compacts the WAL down to a state
+// snapshot plus the still-pending accepts; a successful compaction also
+// recovers a writer that had degraded on disk errors. The returned
+// error is the compaction failure, if any — informational, never fatal.
+func (t *tenantTable) cycleEnd(cycle int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.wal.appendCycle(cycle)
 	for tenant := range t.tokens {
 		t.tokens[tenant] = t.burst
 	}
@@ -119,6 +152,96 @@ func (t *tenantTable) cycleEnd() {
 	for _, tenant := range t.breakers.OpenServices() {
 		t.breakers.BeginProbe(tenant)
 	}
+	if t.wal == nil {
+		return nil
+	}
+	tokens := make(map[string]int, len(t.tokens))
+	for k, v := range t.tokens {
+		tokens[k] = v
+	}
+	state := subsRecord{NextSeq: t.wal.nextSeq(), Tokens: tokens, Breakers: t.breakers.Status()}
+	return t.wal.compact(state, t.pending)
+}
+
+// restore folds a recovered WAL's records into the (freshly
+// constructed) table: pending submissions re-queue in arrival order,
+// token buckets and tenant breakers re-derive by replaying each
+// record's live-time effect. It returns the submissions whose apply
+// records name a cycle that never committed — their URLs were Submit'd
+// into an engine whose cycle never published, so the caller must
+// re-Submit them before resuming that cycle (they land in exactly the
+// cycle their apply record promised, applied once from the client's
+// point of view).
+func (t *tenantTable) restore(rec subsRecovery) (resubmit []pendingSubmission) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	type appliedSub struct {
+		sub   pendingSubmission
+		cycle int
+	}
+	var stateSeq uint64
+	var uncommitted []appliedSub
+	for _, r := range rec.Records {
+		switch r.Op {
+		case "state":
+			stateSeq = r.NextSeq
+			t.tokens = make(map[string]int, len(r.Tokens))
+			for k, v := range r.Tokens {
+				t.tokens[k] = v
+			}
+			t.breakers.Restore(r.Breakers)
+		case "accept":
+			sub := pendingSubmission{seq: r.Seq, tenant: r.Tenant, url: r.URL, accessCode: r.Code}
+			t.pending = append(t.pending, sub)
+			if r.Seq >= stateSeq {
+				// Accepts carried through compaction (seq below the
+				// snapshot's next_seq) are already accounted in the
+				// snapshot's token map; only post-snapshot accepts
+				// consume.
+				tok, seen := t.tokens[r.Tenant]
+				if !seen {
+					tok = t.burst
+				}
+				t.tokens[r.Tenant] = tok - 1
+			}
+		case "apply":
+			for i := range t.pending {
+				if t.pending[i].seq != r.Seq {
+					continue
+				}
+				sub := t.pending[i]
+				t.pending = append(t.pending[:i], t.pending[i+1:]...)
+				if t.breakers.State(sub.tenant) == core.BreakerHalfOpen {
+					t.breakers.ProbeResult(sub.tenant, r.OK)
+				} else if !r.OK {
+					t.breakers.Penalize(sub.tenant, 2)
+				}
+				if r.OK {
+					uncommitted = append(uncommitted, appliedSub{sub: sub, cycle: r.Cycle})
+				}
+				break
+			}
+		case "cycle":
+			kept := uncommitted[:0]
+			for _, a := range uncommitted {
+				if a.cycle > r.Cycle {
+					kept = append(kept, a)
+				}
+			}
+			uncommitted = kept
+			for tenant := range t.tokens {
+				t.tokens[tenant] = t.burst
+			}
+			t.breakers.Decay()
+			for _, tenant := range t.breakers.OpenServices() {
+				t.breakers.BeginProbe(tenant)
+			}
+		}
+	}
+	for _, a := range uncommitted {
+		resubmit = append(resubmit, a.sub)
+	}
+	return resubmit
 }
 
 // suspended reports whether a tenant's breaker is open (for tests and

@@ -43,7 +43,7 @@ func TestSubmissionBudgets(t *testing.T) {
 	}
 
 	// Cycle boundary refills the bucket.
-	s.tenants.cycleEnd()
+	s.tenants.cycleEnd(1)
 	if rec := postSubmission(t, s, body("t1", "https://a.example/4")); rec.Code != http.StatusAccepted {
 		t.Fatalf("post-refill = %d, want 202", rec.Code)
 	}
@@ -93,7 +93,7 @@ func TestTenantBreaker(t *testing.T) {
 			t.Fatalf("queueing submission %d = %d", i, rec.Code)
 		}
 	}
-	s.applySubmissions()
+	s.applySubmissions(1)
 	if !s.tenants.suspended("mallory") {
 		t.Fatal("tenant breaker did not trip after three failed submissions")
 	}
@@ -103,23 +103,23 @@ func TestTenantBreaker(t *testing.T) {
 	}
 
 	// Cycle boundary: breaker goes half-open, one probe is admitted.
-	s.tenants.cycleEnd()
+	s.tenants.cycleEnd(1)
 	if rec := postSubmission(t, s, bad); rec.Code != http.StatusAccepted {
 		t.Fatalf("probe submission = %d, want 202", rec.Code)
 	}
 	// The probe fails too → breaker re-opens.
-	s.applySubmissions()
+	s.applySubmissions(1)
 	if !s.tenants.suspended("mallory") {
 		t.Fatal("failed probe did not re-open the breaker")
 	}
 
 	// A successful probe closes it for good.
-	s.tenants.cycleEnd()
+	s.tenants.cycleEnd(1)
 	src.submitErr = nil
 	if rec := postSubmission(t, s, bad); rec.Code != http.StatusAccepted {
 		t.Fatalf("second probe = %d", rec.Code)
 	}
-	s.applySubmissions()
+	s.applySubmissions(1)
 	if s.tenants.suspended("mallory") {
 		t.Fatal("successful probe did not close the breaker")
 	}

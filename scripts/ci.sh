@@ -25,9 +25,14 @@
 #                          ETag revalidation, byte-compare the daemon's
 #                          text report against a batch run at the same
 #                          seed, queue a submission, require a graceful
-#                          SIGTERM drain, then run the cached-handler
-#                          zero-allocation bench gate. Failure leaves
-#                          the daemon log and responses in $ARTIFACTS.
+#                          SIGTERM drain, run the cached-handler
+#                          zero-allocation bench gate, then the
+#                          crash-safety gate (randomized SIGKILL
+#                          restart loop with a durable submission,
+#                          disk-fault chaos campaign) and the serving
+#                          layer under the race detector. Failure
+#                          leaves daemon logs and responses in
+#                          $ARTIFACTS.
 #
 # Environment:
 #   CI_REQUIRE_TOOLS=1   make missing staticcheck/govulncheck fatal
@@ -291,8 +296,28 @@ if [ "$SERVE" -eq 1 ]; then
     # committed BENCH_serve.json.
     BENCH_SERVE_OUT="$PWD/$ARTIFACTS/BENCH_serve.json" scripts/bench.sh serve
 
+    # Crash-safety gate: SIGKILL the stateful (-serve-dir) daemon at
+    # five randomized, seed-logged points across restarts — the queued
+    # submission must survive exactly once and the converged artifacts
+    # must be byte-identical to an uninterrupted daemon — plus a full
+    # campaign with the -chaos-disk fault plan armed. Daemon logs and
+    # state directories stay in $ARTIFACTS on failure.
+    echo "ci: serve crash-safety gate (kill-restart loop + disk chaos)"
+    if ! PRUDENTIA_E2E_ARTIFACTS="$PWD/$ARTIFACTS/serve-crash" \
+        go test -count=1 -timeout 15m -v \
+        -run 'TestServeKillRestartLoop|TestServeDiskChaosSurvives' ./cmd/prudentia; then
+        echo "ci: serve crash-safety gate failed; daemon logs in $ARTIFACTS/serve-crash" >&2
+        exit 1
+    fi
+    rm -rf "$ARTIFACTS/serve-crash"
+
+    # The serving layer's concurrency contract — lock-free readers
+    # against the scheduler's cache swaps, the drain flag, WAL
+    # serialization under tenantTable.mu — under the race detector.
+    go test -race -count=1 -timeout 10m ./internal/serve
+
     rm -f "$ARTIFACTS/prudentia" "$ARTIFACTS/serve-batch-cycle.txt"
-    echo "ci: serve smoke passed (ETag/304, byte-identical report, 202 submission, graceful drain, 0-alloc handlers)"
+    echo "ci: serve smoke passed (ETag/304, byte-identical report, 202 submission, graceful drain, 0-alloc handlers, kill-restart durability, race-clean)"
     exit 0
 fi
 
